@@ -1,0 +1,373 @@
+// Command svmbench regenerates the paper's evaluation: the execution-time
+// breakdown figures (7-10), the headline overhead summary, and the
+// ablation studies discussed in §4.3 and §5.3.
+//
+// Usage:
+//
+//	svmbench -figure 7            # Figure 7 (8x1, 4-component breakdown)
+//	svmbench -figure all          # Figures 7-10 + overhead summary
+//	svmbench -ablation locks      # queue vs polling lock
+//	svmbench -ablation postqueue  # NIC post-queue depth sweep
+//	svmbench -ablation checkpoint # checkpoint stack-size sweep
+//	svmbench -ablation serial     # release serialization cost
+//	svmbench -ablation recovery   # failure injection per app
+//	svmbench -ablation pagesize   # coherence-granularity sweep
+//	svmbench -ablation detection  # failure-detection timeout sweep
+//	svmbench -size small|medium|paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftsvm/internal/apps"
+	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure to regenerate: 7, 8, 9, 10, overhead, diffs, scaling, all")
+	ablation := flag.String("ablation", "", "ablation to run: locks, postqueue, checkpoint, serial, recovery, aggregate, twophase, pagesize, detection")
+	size := flag.String("size", "medium", "problem size: small, medium, paper")
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	flag.Parse()
+
+	sz := harness.Size(*size)
+	out := os.Stdout
+
+	if *figure == "" && *ablation == "" {
+		*figure = "all"
+	}
+
+	switch *figure {
+	case "":
+	case "7":
+		harness.FigureBreakdown(out, sz, *nodes, 1, false)
+	case "8":
+		harness.FigureBreakdown(out, sz, *nodes, 1, true)
+	case "9":
+		harness.FigureBreakdown(out, sz, *nodes, 2, false)
+	case "10":
+		harness.FigureBreakdown(out, sz, *nodes, 2, true)
+	case "overhead":
+		harness.OverheadSummary(out, sz, *nodes)
+	case "diffs":
+		harness.DiffAnalysis(out, sz, *nodes)
+	case "scaling":
+		harness.ScalingSummary(out, sz, []string{"fft", "waternsq", "radix"})
+	case "all":
+		harness.FigureBreakdown(out, sz, *nodes, 1, false)
+		fmt.Fprintln(out)
+		harness.FigureBreakdown(out, sz, *nodes, 1, true)
+		fmt.Fprintln(out)
+		harness.FigureBreakdown(out, sz, *nodes, 2, false)
+		fmt.Fprintln(out)
+		harness.FigureBreakdown(out, sz, *nodes, 2, true)
+		fmt.Fprintln(out)
+		harness.OverheadSummary(out, sz, *nodes)
+		fmt.Fprintln(out)
+		harness.DiffAnalysis(out, sz, *nodes)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+
+	switch *ablation {
+	case "":
+	case "locks":
+		ablationLocks(sz, *nodes)
+	case "postqueue":
+		ablationPostQueue(sz, *nodes)
+	case "checkpoint":
+		ablationCheckpoint(sz, *nodes)
+	case "serial":
+		ablationSerial(sz, *nodes)
+	case "recovery":
+		ablationRecovery(sz, *nodes)
+	case "aggregate":
+		ablationAggregate(sz, *nodes)
+	case "twophase":
+		ablationTwoPhase(sz, *nodes)
+	case "pagesize":
+		ablationPageSize(sz, *nodes)
+	case "detection":
+		ablationDetection(sz, *nodes)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ablation %q\n", *ablation)
+		os.Exit(2)
+	}
+}
+
+// ablationLocks compares GeNIMA's distributed queue lock against the
+// paper's centralized polling lock (§4.3: "the centralized algorithm
+// performs at least as well as the distributed queuing lock").
+func ablationLocks(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: lock algorithm (base protocol, %d nodes, size=%s)\n", nodes, sz)
+	fmt.Printf("%-14s %-9s %12s %12s\n", "app", "lock", "total ms", "lock ms")
+	for _, app := range []string{"waternsq", "watersp", "radix", "volrend"} {
+		for _, algo := range []svm.LockAlgo{svm.LockQueue, svm.LockPolling, svm.LockNIC} {
+			r := harness.Run(harness.Config{
+				App: app, Size: sz, Mode: svm.ModeBase,
+				Nodes: nodes, ThreadsPerNode: 1, LockAlgo: algo,
+			})
+			if r.Err != nil {
+				fmt.Printf("%-14s %-9s ERROR: %v\n", app, algo, r.Err)
+				continue
+			}
+			_, _, lock, _ := r.Breakdown.FourWay()
+			fmt.Printf("%-14s %-9s %12.1f %12.1f\n", app, algo,
+				float64(r.ExecNs)/1e6, float64(lock)/1e6)
+		}
+	}
+}
+
+// ablationPostQueue sweeps the NIC post-queue depth, the parameter the
+// paper found critical (§5.3.2): diff bursts at releases overflow short
+// queues and block the sending processor.
+func ablationPostQueue(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: NIC post-queue depth (extended protocol, FFT, %d nodes x 2, size=%s)\n", nodes, sz)
+	fmt.Printf("%8s %12s %14s\n", "depth", "total ms", "post stalls ms")
+	for _, depth := range []int{8, 16, 32, 64, 128, 256} {
+		depth := depth
+		r := harness.Run(harness.Config{
+			App: "fft", Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 2,
+			Overrides: func(c *model.Config) { c.PostQueueDepth = depth },
+		})
+		if r.Err != nil {
+			fmt.Printf("%8d ERROR: %v\n", depth, r.Err)
+			continue
+		}
+		fmt.Printf("%8d %12.1f %14.1f\n", depth, float64(r.ExecNs)/1e6, float64(r.PostStallNs)/1e6)
+	}
+}
+
+// ablationCheckpoint sweeps the thread stack (checkpoint blob floor) size;
+// the paper reports checkpoint overhead proportional to stack size and
+// release count.
+func ablationCheckpoint(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: checkpoint stack size (extended protocol, WaterNsq, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%10s %12s %12s %12s\n", "stack B", "total ms", "ckpt ms", "ckpts")
+	for _, stack := range []int{1024, 2048, 4096, 8192, 16384} {
+		stack := stack
+		r := harness.Run(harness.Config{
+			App: "waternsq", Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1,
+			Overrides: func(c *model.Config) { c.MinCheckpointBytes = stack },
+		})
+		if r.Err != nil {
+			fmt.Printf("%10d ERROR: %v\n", stack, r.Err)
+			continue
+		}
+		fmt.Printf("%10d %12.1f %12.1f %12d\n", stack,
+			float64(r.ExecNs)/1e6, float64(r.Breakdown.Comp[svm.CompCheckpoint])/1e6, r.Checkpoints)
+	}
+}
+
+// ablationSerial quantifies the extended protocol's release serialization
+// (§4.4) by imposing it on the base protocol.
+func ablationSerial(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: release serialization (base protocol, %d nodes x 2, size=%s)\n", nodes, sz)
+	fmt.Printf("%-14s %10s %10s %9s\n", "app", "parallel", "serial", "delta")
+	for _, app := range []string{"waternsq", "watersp", "radix"} {
+		par := harness.Run(harness.Config{App: app, Size: sz, Mode: svm.ModeBase, Nodes: nodes, ThreadsPerNode: 2})
+		// SerialReleases is an svm option, not a model one; run directly.
+		serR := runSerial(app, sz, nodes)
+		if par.Err != nil || serR.Err != nil {
+			fmt.Printf("%-14s ERROR par=%v ser=%v\n", app, par.Err, serR.Err)
+			continue
+		}
+		fmt.Printf("%-14s %10.1f %10.1f %+8.1f%%\n", app,
+			float64(par.ExecNs)/1e6, float64(serR.ExecNs)/1e6,
+			100*float64(serR.ExecNs-par.ExecNs)/float64(par.ExecNs))
+	}
+}
+
+func runSerial(app string, sz harness.Size, nodes int) harness.Result {
+	cfg := model.Default()
+	cfg.Nodes = nodes
+	cfg.ThreadsPerNode = 2
+	s := apps.Shape{Nodes: nodes, ThreadsPerNode: 2, PageSize: cfg.PageSize}
+	w, err := harness.Build(app, sz, s)
+	if err != nil {
+		return harness.Result{Err: err}
+	}
+	cl, err := svm.New(svm.Options{
+		Config: cfg, Mode: svm.ModeBase, Pages: w.Pages, Locks: w.Locks,
+		HomeAssign: w.HomeAssign, Body: w.Body, SerialReleases: true,
+	})
+	if err != nil {
+		return harness.Result{Err: err}
+	}
+	if err := cl.Run(); err != nil {
+		return harness.Result{Err: err}
+	}
+	if err := w.Err(); err != nil {
+		return harness.Result{Err: err}
+	}
+	return harness.Result{ExecNs: cl.ExecTime(), Breakdown: cl.AvgBreakdown()}
+}
+
+// ablationAggregate measures the paper's §6 suggestion of propagating
+// fewer, larger diff messages: all of a release's diffs for one home ride
+// in one message.
+func ablationAggregate(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: aggregated diff propagation (extended protocol, %d nodes x 2, size=%s)\n", nodes, sz)
+	fmt.Printf("%-14s %-12s %12s %12s %12s\n", "app", "diffs", "total ms", "diff ms", "messages")
+	for _, app := range []string{"fft", "lu", "waternsq"} {
+		for _, agg := range []bool{false, true} {
+			r := harness.Run(harness.Config{
+				App: app, Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 2,
+				AggregateDiffs: agg,
+			})
+			if r.Err != nil {
+				fmt.Printf("%-14s %-12v ERROR: %v\n", app, agg, r.Err)
+				continue
+			}
+			label := "per-page"
+			if agg {
+				label = "aggregated"
+			}
+			fmt.Printf("%-14s %-12s %12.1f %12.1f %12d\n", app, label,
+				float64(r.ExecNs)/1e6, float64(r.Breakdown.Comp[svm.CompDiff])/1e6, r.MsgsSent)
+		}
+	}
+}
+
+// ablationTwoPhase measures what the two-phase diff propagation's
+// ordering guarantee costs, by comparing against the deliberately unsafe
+// single-phase variant (both copies updated under one fence). The delta
+// is the price of being able to roll an interrupted release forward or
+// backward.
+func ablationTwoPhase(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: two-phase vs (unsafe) single-phase propagation (extended, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%-14s %-14s %12s %12s\n", "app", "propagation", "total ms", "diff ms")
+	for _, app := range []string{"fft", "lu", "waternsq"} {
+		for _, unsafe := range []bool{false, true} {
+			r := harness.Run(harness.Config{
+				App: app, Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1,
+				UnsafeSinglePhase: unsafe,
+			})
+			if r.Err != nil {
+				fmt.Printf("%-14s %-14v ERROR: %v\n", app, unsafe, r.Err)
+				continue
+			}
+			label := "two-phase"
+			if unsafe {
+				label = "single-phase"
+			}
+			fmt.Printf("%-14s %-14s %12.1f %12.1f\n", app, label,
+				float64(r.ExecNs)/1e6, float64(r.Breakdown.Comp[svm.CompDiff])/1e6)
+		}
+	}
+}
+
+// ablationPageSize sweeps the virtual page size, SVM's coherence
+// granularity. Larger pages amortize fetch latency for apps with coarse
+// sharing (FFT) but amplify false sharing and diff volume for apps with
+// fine-grained writes (Water-Nsquared) — and the extended protocol pays
+// the diff price twice, so its overhead grows faster with the page size.
+func ablationPageSize(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: page size (coherence granularity, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%-14s %8s %10s %10s %9s %12s\n", "app", "page B", "base ms", "ext ms", "overhead", "ext diff ms")
+	for _, app := range []string{"fft", "waternsq", "radix"} {
+		for _, page := range []int{1024, 4096, 16384} {
+			page := page
+			ov := func(c *model.Config) { c.PageSize = page }
+			base := harness.Run(harness.Config{
+				App: app, Size: sz, Mode: svm.ModeBase, Nodes: nodes, ThreadsPerNode: 1, Overrides: ov,
+			})
+			ext := harness.Run(harness.Config{
+				App: app, Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1, Overrides: ov,
+			})
+			if base.Err != nil || ext.Err != nil {
+				fmt.Printf("%-14s %8d ERROR base=%v ext=%v\n", app, page, base.Err, ext.Err)
+				continue
+			}
+			fmt.Printf("%-14s %8d %10.1f %10.1f %+8.0f%% %12.1f\n", app, page,
+				float64(base.ExecNs)/1e6, float64(ext.ExecNs)/1e6,
+				harness.Overhead(base, ext), float64(ext.Breakdown.Comp[svm.CompDiff])/1e6)
+		}
+	}
+}
+
+// ablationDetection sweeps the failure-detection (heartbeat probe)
+// timeout: detection latency is pure added downtime before recovery can
+// start, so completion time under a failure should grow roughly linearly
+// with the timeout while the failure-free run is unaffected.
+func ablationDetection(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: failure-detection timeout (extended protocol, FFT + mid-run failure, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%12s %14s %14s\n", "timeout ms", "no-failure ms", "failure ms")
+	for _, tmo := range []int64{500_000, 2_000_000, 8_000_000, 32_000_000} {
+		tmo := tmo
+		ov := func(c *model.Config) { c.HeartbeatTimeoutNs = tmo }
+		clean := harness.Run(harness.Config{
+			App: "fft", Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1, Overrides: ov,
+		})
+		if clean.Err != nil {
+			fmt.Printf("%12.1f ERROR: %v\n", float64(tmo)/1e6, clean.Err)
+			continue
+		}
+		failed := runWithKill("fft", sz, nodes, clean.ExecNs/3, ov)
+		if failed.Err != nil {
+			fmt.Printf("%12.1f %14.1f ERROR: %v\n", float64(tmo)/1e6, float64(clean.ExecNs)/1e6, failed.Err)
+			continue
+		}
+		fmt.Printf("%12.1f %14.1f %14.1f\n", float64(tmo)/1e6,
+			float64(clean.ExecNs)/1e6, float64(failed.ExecNs)/1e6)
+	}
+}
+
+// ablationRecovery injects a mid-run failure into every application under
+// the extended protocol and reports completion, verification, and the cost
+// relative to the failure-free run.
+func ablationRecovery(sz harness.Size, nodes int) {
+	fmt.Printf("Ablation: single-node failure + recovery (extended protocol, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%-14s %14s %14s %10s\n", "app", "no-failure ms", "failure ms", "verified")
+	for _, app := range harness.AppNames {
+		clean := harness.Run(harness.Config{App: app, Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1})
+		if clean.Err != nil {
+			fmt.Printf("%-14s ERROR: %v\n", app, clean.Err)
+			continue
+		}
+		failed := runWithKill(app, sz, nodes, clean.ExecNs/3, nil)
+		if failed.Err != nil {
+			fmt.Printf("%-14s %14.1f ERROR: %v\n", app, float64(clean.ExecNs)/1e6, failed.Err)
+			continue
+		}
+		fmt.Printf("%-14s %14.1f %14.1f %10s\n", app,
+			float64(clean.ExecNs)/1e6, float64(failed.ExecNs)/1e6, "yes")
+	}
+}
+
+func runWithKill(app string, sz harness.Size, nodes int, killAt int64, override func(*model.Config)) harness.Result {
+	cfg := model.Default()
+	cfg.Nodes = nodes
+	cfg.ThreadsPerNode = 1
+	if override != nil {
+		override(&cfg)
+	}
+	s := apps.Shape{Nodes: nodes, ThreadsPerNode: 1, PageSize: cfg.PageSize}
+	w, err := harness.Build(app, sz, s)
+	if err != nil {
+		return harness.Result{Err: err}
+	}
+	cl, err := svm.New(svm.Options{
+		Config: cfg, Mode: svm.ModeFT, Pages: w.Pages, Locks: w.Locks,
+		HomeAssign: w.HomeAssign, Body: w.Body,
+	})
+	if err != nil {
+		return harness.Result{Err: err}
+	}
+	cl.Engine().At(killAt, func() { cl.KillNode(1 + int(killAt)%(nodes-1)) })
+	if err := cl.Run(); err != nil {
+		return harness.Result{Err: err}
+	}
+	if !cl.Finished() {
+		return harness.Result{Err: fmt.Errorf("did not finish after failure")}
+	}
+	if err := w.Err(); err != nil {
+		return harness.Result{Err: fmt.Errorf("verification failed: %w", err)}
+	}
+	return harness.Result{ExecNs: cl.ExecTime()}
+}

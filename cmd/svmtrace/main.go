@@ -1,0 +1,115 @@
+// Command svmtrace runs an application and streams the protocol's trace
+// events (releases, phases, checkpoints, barriers, failures, recovery
+// milestones) with virtual timestamps — the tool for inspecting protocol
+// behaviour around an injected failure.
+//
+// Usage:
+//
+//	svmtrace -app radix -size small -kill 2 -killat 3ms
+//	svmtrace -app fft -filter recovery            # only recovery events
+//	svmtrace -app lu -filter "release.phase1,kill" -node 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ftsvm/internal/apps"
+	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+type printer struct {
+	cl      *svm.Cluster
+	kinds   map[string]bool
+	node    int
+	emitted int
+	limit   int
+}
+
+func (p *printer) Event(e svm.TraceEvent) {
+	if p.limit > 0 && p.emitted >= p.limit {
+		return
+	}
+	if len(p.kinds) > 0 {
+		match := false
+		for k := range p.kinds {
+			if strings.HasPrefix(e.Kind, k) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return
+		}
+	}
+	if p.node >= 0 && e.Node != p.node {
+		return
+	}
+	p.emitted++
+	fmt.Printf("%12.3fms  %-18s node=%d thread=%d seq=%d\n",
+		float64(p.cl.Engine().Now())/1e6, e.Kind, e.Node, e.Thread, e.Seq)
+}
+
+func main() {
+	app := flag.String("app", "radix", "application (fft, lu, waternsq, watersp, radix, volrend, kvstore)")
+	size := flag.String("size", "small", "problem size: small, medium, paper")
+	mode := flag.String("mode", "extended", "protocol: base, extended")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	threads := flag.Int("threads", 1, "threads per node")
+	kill := flag.Int("kill", -1, "node to fail (-1: none)")
+	killAt := flag.Duration("killat", 3*time.Millisecond, "virtual failure time")
+	filter := flag.String("filter", "", "comma-separated event-kind prefixes (empty: all)")
+	node := flag.Int("node", -1, "only events from this node (-1: all)")
+	limit := flag.Int("limit", 2000, "maximum events to print (0: unlimited)")
+	flag.Parse()
+
+	cfg := model.Default()
+	cfg.Nodes = *nodes
+	cfg.ThreadsPerNode = *threads
+
+	m := svm.ModeFT
+	if *mode == "base" {
+		m = svm.ModeBase
+	}
+	s := apps.Shape{Nodes: cfg.Nodes, ThreadsPerNode: cfg.ThreadsPerNode, PageSize: cfg.PageSize}
+	w, err := harness.Build(*app, harness.Size(*size), s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	pr := &printer{node: *node, limit: *limit, kinds: map[string]bool{}}
+	for _, k := range strings.Split(*filter, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			pr.kinds[k] = true
+		}
+	}
+
+	cl, err := svm.New(svm.Options{
+		Config: cfg, Mode: m, Pages: w.Pages, Locks: w.Locks,
+		HomeAssign: w.HomeAssign, Body: w.Body, Tracer: pr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pr.cl = cl
+	if *kill >= 0 {
+		cl.Engine().At(killAt.Nanoseconds(), func() { cl.KillNode(*kill) })
+	}
+	if err := cl.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		os.Exit(1)
+	}
+	status := "verified OK"
+	if err := w.Err(); err != nil {
+		status = "VERIFICATION FAILED: " + err.Error()
+	}
+	fmt.Printf("--- %s finished in %.2f ms virtual; %s; %d events printed\n",
+		w.Name, float64(cl.ExecTime())/1e6, status, pr.emitted)
+}

@@ -1,0 +1,88 @@
+// lockcontention: compare GeNIMA's distributed queue lock against the
+// paper's centralized polling lock (§4.3) under increasing contention.
+//
+// N threads hammer a handful of locks protecting shared counters. For
+// each lock algorithm the run reports total execution time and the lock
+// wait share — reproducing the paper's observation that the stateless
+// polling lock, chosen for its trivial failure recovery, performs at
+// least as well as the queuing lock it replaced.
+//
+// Run: go run ./examples/lockcontention
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+const (
+	nLocks = 4
+	iters  = 40
+)
+
+type state struct {
+	Iter int
+}
+
+func body(t *svm.Thread) {
+	st := &state{}
+	t.Setup(st)
+	for st.Iter < iters {
+		l := (t.ID() + st.Iter) % nLocks
+		t.Acquire(l)
+		addr := l * 8
+		t.WriteU64(addr, t.ReadU64(addr)+1)
+		t.Compute(2_000) // short critical section
+		st.Iter++
+		t.Release(l)
+	}
+	t.Barrier()
+}
+
+func run(algo svm.LockAlgo) (*svm.Cluster, error) {
+	cfg := model.Default()
+	cfg.Nodes = 8
+	cl, err := svm.New(svm.Options{
+		Config:   cfg,
+		Mode:     svm.ModeBase,
+		LockAlgo: algo,
+		Pages:    4,
+		Locks:    nLocks,
+		Body:     body,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Run(); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+func main() {
+	fmt.Printf("8 nodes, %d locks, %d lock-protected increments per thread\n\n", nLocks, iters)
+	fmt.Printf("%-22s %12s %12s\n", "algorithm", "total ms", "lock-wait ms")
+	for _, algo := range []svm.LockAlgo{svm.LockQueue, svm.LockPolling, svm.LockNIC} {
+		cl, err := run(algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Sanity: every increment must have landed.
+		var sum uint64
+		for l := 0; l < nLocks; l++ {
+			sum += cl.PeekU64(l * 8)
+		}
+		if want := uint64(8 * iters); sum != want {
+			log.Fatalf("%s: counters sum %d, want %d", algo, sum, want)
+		}
+		bd := cl.AvgBreakdown()
+		fmt.Printf("%-22s %12.2f %12.2f\n", algo.String(),
+			float64(cl.ExecTime())/1e6, float64(bd.Comp[svm.CompLock])/1e6)
+	}
+	fmt.Println("\nAll algorithms produce exact counts; the paper adopts the polling")
+	fmt.Println("lock because its statelessness makes failure recovery trivial (§4.3);")
+	fmt.Println("the NIC test-and-set lock is its §6 future-work refinement.")
+}

@@ -1,0 +1,3 @@
+module ftsvm
+
+go 1.24

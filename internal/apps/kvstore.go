@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"fmt"
+
+	"ftsvm/internal/svm"
+)
+
+// kvState is the resumable state of a KVStore thread: the op index
+// advances before each bucket-lock release, so a replay applies every
+// operation exactly once.
+type kvState struct {
+	Phase   int
+	Arrived bool
+	Op      int
+	OpStage int
+}
+
+// kvSlotBytes is one hash slot: key and value words.
+const kvSlotBytes = 16
+
+// KVStore is the §6 "broader application domain" workload: a shared
+// hash-table key-value store under transactional per-bucket locking —
+// the access pattern of the back-end servers the paper's introduction
+// motivates, quite unlike the SPLASH kernels. Each thread applies a
+// deterministic stream of ADD(key, delta) operations; additions commute,
+// so the expected final value of every key is independent of the
+// interleaving and verified exactly at the end.
+func KVStore(s Shape, buckets, slotsPerBucket, opsPerThread int) *Workload {
+	T := s.Threads()
+	l := newLayout(s.PageSize)
+	bucketBytes := slotsPerBucket * kvSlotBytes
+	// One bucket per page region, buckets round-robin over nodes (a real
+	// partitioned store).
+	bucketAddr := make([]int, buckets)
+	for b := range bucketAddr {
+		bucketAddr[b] = l.alloc(bucketBytes)
+	}
+	homeOf := make([]int, l.pages())
+	for b := range bucketAddr {
+		nd := s.NodeOfThread(b % T)
+		for a := bucketAddr[b]; a < bucketAddr[b]+bucketBytes; a += s.PageSize {
+			homeOf[l.pageOf(a)] = nd
+		}
+	}
+
+	w := &Workload{
+		Name:  fmt.Sprintf("KVStore-%dx%d", buckets, opsPerThread),
+		Pages: l.pages(),
+		Locks: buckets,
+		HomeAssign: func(p int) int {
+			if p < len(homeOf) {
+				return homeOf[p]
+			}
+			return 0
+		},
+	}
+
+	keySpace := buckets * slotsPerBucket / 2
+	bucketOf := func(key uint64) int { return int(key*2654435761) % buckets }
+
+	// opFor returns thread tid's op i: (key, delta). Deterministic and
+	// recomputable during replay.
+	opFor := func(tid, i int) (uint64, uint64) {
+		rng := newPrng(uint64(tid)<<32 | uint64(i) | 1)
+		key := rng.next()%uint64(keySpace) + 1 // keys are nonzero
+		delta := rng.next()%100 + 1
+		return key, delta
+	}
+
+	w.Body = func(t *svm.Thread) {
+		st := &kvState{OpStage: -1}
+		t.Setup(st)
+		tid := t.ID()
+
+		// opsStage applies the thread's operation stream: lookup-or-insert
+		// the key in its bucket, add the delta — all under the bucket's
+		// lock, with st.Op advanced before the Release for exactly-once
+		// replay.
+		opsStage := func(stage int) {
+			if st.OpStage != stage {
+				st.Op, st.OpStage = 0, stage
+			}
+			for st.Op < opsPerThread {
+				key, delta := opFor(tid, st.Op)
+				b := bucketOf(key)
+				t.Acquire(b)
+				slot := -1
+				for i := 0; i < slotsPerBucket; i++ {
+					k := t.ReadU64(bucketAddr[b] + i*kvSlotBytes)
+					if k == key || k == 0 {
+						slot = i
+						break
+					}
+				}
+				if slot < 0 {
+					w.failf("bucket %d overflow", b)
+					st.Op = opsPerThread
+					t.Release(b)
+					return
+				}
+				addr := bucketAddr[b] + slot*kvSlotBytes
+				t.WriteU64(addr, key)
+				v := t.ReadU64(addr + 8)
+				t.WriteU64(addr+8, v+delta)
+				t.Compute(500) // request parsing / hashing
+				st.Op++
+				t.Release(b)
+			}
+		}
+
+		// verifyStage recomputes every key's expected total from all
+		// threads' op streams and compares against the table.
+		verifyStage := func() {
+			if tid != 0 {
+				return
+			}
+			want := map[uint64]uint64{}
+			for pt := 0; pt < T; pt++ {
+				for i := 0; i < opsPerThread; i++ {
+					k, d := opFor(pt, i)
+					want[k] += d
+				}
+			}
+			got := map[uint64]uint64{}
+			for b := 0; b < buckets; b++ {
+				seen := map[uint64]bool{}
+				for i := 0; i < slotsPerBucket; i++ {
+					k := t.ReadU64(bucketAddr[b] + i*kvSlotBytes)
+					if k == 0 {
+						continue
+					}
+					if bucketOf(k) != b {
+						w.failf("key %d stored in wrong bucket %d", k, b)
+					}
+					if seen[k] {
+						w.failf("key %d duplicated within bucket %d", k, b)
+					}
+					seen[k] = true
+					got[k] += t.ReadU64(bucketAddr[b] + i*kvSlotBytes + 8)
+				}
+			}
+			if len(got) != len(want) {
+				w.failf("key count %d, want %d", len(got), len(want))
+				return
+			}
+			for k, wv := range want {
+				if got[k] != wv {
+					w.failf("key %d = %d, want %d", k, got[k], wv)
+					return
+				}
+			}
+		}
+
+		runStages(t, &st.Phase, &st.Arrived, 2, func(s int) {
+			switch s {
+			case 0:
+				opsStage(s)
+			case 1:
+				verifyStage()
+			}
+		})
+	}
+	return w
+}

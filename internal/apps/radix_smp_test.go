@@ -1,0 +1,24 @@
+package apps
+
+import (
+	"testing"
+
+	"ftsvm/internal/svm"
+)
+
+// Regression tests for three protocol bugs found by the Radix workload
+// under SMP nodes: (1) a write validated before a cost-charge yield
+// landing on a page a sibling's commit had downgraded; (2) a base-mode
+// home reading its own page without waiting for notified in-flight diffs;
+// (3) a sibling's concurrent write fault re-cloning the twin and silently
+// excluding the first writer's modifications from the commit diff.
+
+func TestRadixSMPBaseLarge(t *testing.T) {
+	s := Shape{Nodes: 4, ThreadsPerNode: 2, PageSize: 4096}
+	runWorkload(t, svm.ModeBase, s, Radix(s, 4096))
+}
+
+func TestRadixSMPFTSmall(t *testing.T) {
+	s := Shape{Nodes: 2, ThreadsPerNode: 2, PageSize: 4096}
+	runWorkload(t, svm.ModeFT, s, Radix(s, 1024))
+}

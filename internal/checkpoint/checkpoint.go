@@ -1,0 +1,149 @@
+// Package checkpoint implements thread-state checkpointing for the
+// extended SVM protocol: serialization of a thread's resumable state and
+// the double-buffered remote store that holds it on a backup node.
+//
+// The paper checkpoints a thread's context and stack. Go cannot copy
+// goroutine stacks, so a thread's resumable state is a gob-serializable
+// struct the application registers (see DESIGN.md, substitutions). Two
+// copies per thread are kept on the backup node and updated alternately,
+// so a failure *during* checkpointing always leaves the previous complete
+// checkpoint intact — exactly the paper's scheme.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+
+	"ftsvm/internal/proto"
+)
+
+// Snapshot is one saved thread state.
+type Snapshot struct {
+	// Seq is the release sequence number at which the snapshot was taken;
+	// higher is newer.
+	Seq int64
+	// VT is the node's vector time at the snapshot, used during recovery
+	// to position the restored thread in the partial order.
+	VT proto.VectorTime
+	// BarSeq is the number of global barriers the thread had completed at
+	// the snapshot, so a restored thread re-joins the correct barrier
+	// episode.
+	BarSeq int64
+	// Blob is the gob-encoded application state.
+	Blob []byte
+}
+
+// Encode serializes an application state value (typically a pointer to a
+// struct) for checkpointing.
+func Encode(state any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode restores an application state value encoded by Encode. The
+// destination is zeroed first: gob omits zero-valued fields at encode and
+// leaves them untouched at decode, so decoding into a struct that was
+// pre-initialized with sentinels would silently resurrect the sentinels
+// for every field that happened to be zero when the checkpoint was taken.
+func Decode(blob []byte, into any) error {
+	if v := reflect.ValueOf(into); v.Kind() == reflect.Pointer && !v.IsNil() {
+		v.Elem().SetZero()
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(into); err != nil {
+		return fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return nil
+}
+
+// Store holds checkpoints for threads backed up on this node. Each thread
+// has two alternating slots; Latest always returns the newest complete one.
+type Store struct {
+	slots map[int]*threadSlots
+}
+
+type threadSlots struct {
+	snaps [2]Snapshot
+	valid [2]bool
+	next  int // slot the next Put writes
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{slots: make(map[int]*threadSlots)} }
+
+// Put saves a snapshot for thread tid into the alternate slot. Writes with
+// a Seq not newer than the newest stored snapshot are ignored (a stale
+// checkpoint arriving late must never regress the store).
+func (s *Store) Put(tid int, snap Snapshot) {
+	ts := s.slots[tid]
+	if ts == nil {
+		ts = &threadSlots{}
+		s.slots[tid] = ts
+	}
+	if cur, ok := s.latest(ts); ok && snap.Seq <= cur.Seq {
+		return
+	}
+	ts.snaps[ts.next] = snap
+	ts.valid[ts.next] = true
+	ts.next = 1 - ts.next
+}
+
+// Latest returns the newest complete snapshot for thread tid.
+func (s *Store) Latest(tid int) (Snapshot, bool) {
+	ts := s.slots[tid]
+	if ts == nil {
+		return Snapshot{}, false
+	}
+	return s.latest(ts)
+}
+
+func (s *Store) latest(ts *threadSlots) (Snapshot, bool) {
+	best := -1
+	for i := 0; i < 2; i++ {
+		if ts.valid[i] && (best < 0 || ts.snaps[i].Seq > ts.snaps[best].Seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Snapshot{}, false
+	}
+	return ts.snaps[best], true
+}
+
+// LatestValid returns the newest stored snapshot satisfying ok. Recovery
+// uses it to skip a snapshot tied to an interval that rolled back: a
+// point-A sibling snapshot taken at a release whose timestamp was never
+// saved pairs with state the roll-back erased, so the previous buffered
+// snapshot (or none) is the consistent one.
+func (s *Store) LatestValid(tid int, ok func(Snapshot) bool) (Snapshot, bool) {
+	ts := s.slots[tid]
+	if ts == nil {
+		return Snapshot{}, false
+	}
+	best := -1
+	for i := 0; i < 2; i++ {
+		if ts.valid[i] && ok(ts.snaps[i]) && (best < 0 || ts.snaps[i].Seq > ts.snaps[best].Seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Snapshot{}, false
+	}
+	return ts.snaps[best], true
+}
+
+// Threads returns the ids of all threads with at least one snapshot.
+func (s *Store) Threads() []int {
+	var out []int
+	for tid := range s.slots {
+		out = append(out, tid)
+	}
+	return out
+}
+
+// Drop removes all snapshots for thread tid (after a successful migration).
+func (s *Store) Drop(tid int) { delete(s.slots, tid) }

@@ -1,0 +1,14 @@
+package harness
+
+import "testing"
+
+func TestHomeDiffFractionPaperSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size run")
+	}
+	st := statsFor(t, "watersp", SizePaper)
+	t.Logf("watersp paper-size home-diff fraction: %.1f%%", 100*st.HomeDiffFraction())
+	if st.HomeDiffFraction() < 0.93 {
+		t.Errorf("watersp home-diff fraction %.2f at paper size, want > 0.93 (paper: >99%%)", st.HomeDiffFraction())
+	}
+}

@@ -1,0 +1,296 @@
+// Package harness runs the paper's experiments: each SPLASH-2 workload
+// under the base and extended protocols, on the paper's configurations
+// (8 nodes with 1 or 2 compute threads per node), collecting the
+// execution-time breakdowns of Figures 7-10 plus ablation sweeps.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ftsvm/internal/apps"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+// AppNames lists the application suite in the paper's order.
+var AppNames = []string{"fft", "lu", "waternsq", "watersp", "radix", "volrend"}
+
+// Size selects problem scale.
+type Size string
+
+const (
+	// SizeSmall is for tests: seconds of virtual time, milliseconds of
+	// wall time.
+	SizeSmall Size = "small"
+	// SizeMedium is a quarter-scale run for quick experiments.
+	SizeMedium Size = "medium"
+	// SizePaper matches the paper's §5.1 problem sizes (FFT 1M points,
+	// LU 1024x1024, Water 4096 molecules, Radix 4M keys, Volrend head-
+	// scale).
+	SizePaper Size = "paper"
+)
+
+// Build constructs the named workload at the given size for a cluster
+// shape.
+func Build(app string, size Size, s apps.Shape) (*apps.Workload, error) {
+	switch app {
+	case "fft":
+		n := map[Size]int{SizeSmall: 4096, SizeMedium: 65536, SizePaper: 1 << 20}[size]
+		return apps.FFT(s, n), nil
+	case "lu":
+		n := map[Size]int{SizeSmall: 128, SizeMedium: 512, SizePaper: 1024}[size]
+		return apps.LU(s, n, 16), nil
+	case "waternsq":
+		n := map[Size]int{SizeSmall: 256, SizeMedium: 1024, SizePaper: 4096}[size]
+		return apps.WaterNsq(s, n, 2), nil
+	case "watersp":
+		n := map[Size]int{SizeSmall: 256, SizeMedium: 1024, SizePaper: 4096}[size]
+		return apps.WaterSp(s, n, 2), nil
+	case "radix":
+		n := map[Size]int{SizeSmall: 1 << 16, SizeMedium: 1 << 20, SizePaper: 4 << 20}[size]
+		return apps.Radix(s, n), nil
+	case "volrend":
+		v := map[Size]int{SizeSmall: 32, SizeMedium: 64, SizePaper: 128}[size]
+		i := map[Size]int{SizeSmall: 64, SizeMedium: 128, SizePaper: 256}[size]
+		return apps.Volrend(s, v, i), nil
+	case "ocean":
+		// Nearest-neighbour stencil extension (not in the paper's
+		// figures).
+		n := map[Size]int{SizeSmall: 64, SizeMedium: 258, SizePaper: 514}[size]
+		return apps.Ocean(s, n, 6), nil
+	case "kvstore":
+		// The §6 "broader application domain" extension: a transactional
+		// key-value server (not part of the paper's figures).
+		b := map[Size]int{SizeSmall: 32, SizeMedium: 128, SizePaper: 512}[size]
+		ops := map[Size]int{SizeSmall: 100, SizeMedium: 1000, SizePaper: 5000}[size]
+		return apps.KVStore(s, b, 32, ops), nil
+	}
+	return nil, fmt.Errorf("harness: unknown app %q", app)
+}
+
+// Config is one experiment cell.
+type Config struct {
+	App            string
+	Size           Size
+	Mode           svm.Mode
+	Nodes          int
+	ThreadsPerNode int
+	LockAlgo       svm.LockAlgo
+	// AggregateDiffs enables the §6 batched diff propagation.
+	AggregateDiffs bool
+	// UnsafeSinglePhase collapses the two propagation phases (ablation:
+	// the price of failure atomicity).
+	UnsafeSinglePhase bool
+	// Overrides tweaks the cost model before the run (ablations).
+	Overrides func(*model.Config)
+}
+
+// Result is one experiment outcome.
+type Result struct {
+	Config
+	ExecNs    int64
+	Breakdown svm.Breakdown
+	MsgsSent  int64
+	BytesSent int64
+	// PostStallNs is total sender time blocked on full post queues.
+	PostStallNs int64
+	// Checkpoints is the total number of thread-state checkpoints taken.
+	Checkpoints int64
+	Err         error
+}
+
+// Run executes one experiment cell.
+func Run(c Config) Result {
+	r, _ := runWithStats(c)
+	return r
+}
+
+// runWithStats executes one cell and also returns the protocol counters.
+func runWithStats(c Config) (Result, svm.ProtoStats) {
+	cfg := model.Default()
+	cfg.Nodes = c.Nodes
+	cfg.ThreadsPerNode = c.ThreadsPerNode
+	if c.Overrides != nil {
+		c.Overrides(&cfg)
+	}
+	s := apps.Shape{Nodes: cfg.Nodes, ThreadsPerNode: cfg.ThreadsPerNode, PageSize: cfg.PageSize}
+	w, err := Build(c.App, c.Size, s)
+	if err != nil {
+		return Result{Config: c, Err: err}, svm.ProtoStats{}
+	}
+	cl, err := svm.New(svm.Options{
+		Config:            cfg,
+		Mode:              c.Mode,
+		LockAlgo:          c.LockAlgo,
+		Pages:             w.Pages,
+		Locks:             w.Locks,
+		HomeAssign:        w.HomeAssign,
+		Body:              w.Body,
+		AggregateDiffs:    c.AggregateDiffs,
+		UnsafeSinglePhase: c.UnsafeSinglePhase,
+	})
+	if err != nil {
+		return Result{Config: c, Err: err}, svm.ProtoStats{}
+	}
+	if err := cl.Run(); err != nil {
+		return Result{Config: c, Err: err}, svm.ProtoStats{}
+	}
+	if !cl.Finished() {
+		return Result{Config: c, Err: fmt.Errorf("harness: %s did not finish", c.App)}, svm.ProtoStats{}
+	}
+	if err := w.Err(); err != nil {
+		return Result{Config: c, Err: err}, svm.ProtoStats{}
+	}
+	r := Result{
+		Config:    c,
+		ExecNs:    cl.ExecTime(),
+		Breakdown: cl.AvgBreakdown(),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		st := cl.Network().Endpoint(i).Stats()
+		r.MsgsSent += st.MsgsSent
+		r.BytesSent += st.BytesSent
+		r.PostStallNs += st.PostStallsNs
+	}
+	r.Checkpoints = cl.CheckpointCount()
+	return r, cl.ProtoStats()
+}
+
+// RunPair runs a base/extended pair for one app and configuration.
+func RunPair(app string, size Size, nodes, tpn int) (base, ext Result) {
+	base = Run(Config{App: app, Size: size, Mode: svm.ModeBase, Nodes: nodes, ThreadsPerNode: tpn})
+	ext = Run(Config{App: app, Size: size, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: tpn})
+	return
+}
+
+// ms renders nanoseconds as milliseconds with one decimal.
+func ms(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e6) }
+
+// Overhead returns the extended-over-base execution overhead in percent.
+func Overhead(base, ext Result) float64 {
+	if base.ExecNs == 0 {
+		return 0
+	}
+	return 100 * float64(ext.ExecNs-base.ExecNs) / float64(base.ExecNs)
+}
+
+// FigureBreakdown renders the paper's Figure 7/9 (4-component) or 8/10
+// (6-component) table for the given thread count.
+func FigureBreakdown(out io.Writer, size Size, nodes, tpn int, six bool) {
+	kind, cols := "Figure 7", "compute data lock barrier"
+	switch {
+	case six && tpn == 1:
+		kind, cols = "Figure 8", "compute data sync diffs proto ckpt"
+	case !six && tpn == 2:
+		kind = "Figure 9"
+	case six && tpn == 2:
+		kind, cols = "Figure 10", "compute data sync diffs proto ckpt"
+	}
+	fmt.Fprintf(out, "%s: execution time breakdown (ms/thread), %d nodes x %d thread(s)/node, size=%s\n",
+		kind, nodes, tpn, size)
+	fmt.Fprintf(out, "%-14s %-9s %9s  %s\n", "app", "protocol", "total", columnHeader(cols))
+	for _, app := range AppNames {
+		base, ext := RunPair(app, size, nodes, tpn)
+		for _, r := range []Result{base, ext} {
+			if r.Err != nil {
+				fmt.Fprintf(out, "%-14s %-9s ERROR: %v\n", app, r.Mode, r.Err)
+				continue
+			}
+			fmt.Fprintf(out, "%-14s %-9s %9s  %s\n", app, r.Mode, ms(r.ExecNs), breakdownCells(r.Breakdown, six))
+		}
+		if base.Err == nil && ext.Err == nil {
+			fmt.Fprintf(out, "%-14s overhead %+8.0f%%\n", app, Overhead(base, ext))
+		}
+	}
+}
+
+func columnHeader(cols string) string {
+	var b strings.Builder
+	for _, c := range strings.Fields(cols) {
+		fmt.Fprintf(&b, "%9s", c)
+	}
+	return b.String()
+}
+
+func breakdownCells(bd svm.Breakdown, six bool) string {
+	var vals []int64
+	if six {
+		c, d, s, df, p, k := bd.SixWay()
+		vals = []int64{c, d, s, df, p, k}
+	} else {
+		c, d, l, b := bd.FourWay()
+		vals = []int64{c, d, l, b}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, "%9s", ms(v))
+	}
+	return b.String()
+}
+
+// OverheadSummary prints the headline numbers (paper: 20-67% at 1 thread,
+// 24-100% at 2 threads).
+func OverheadSummary(out io.Writer, size Size, nodes int) {
+	for _, tpn := range []int{1, 2} {
+		lo, hi := 1e18, -1e18
+		fmt.Fprintf(out, "Overhead, %d nodes x %d thread(s)/node, size=%s\n", nodes, tpn, size)
+		for _, app := range AppNames {
+			base, ext := RunPair(app, size, nodes, tpn)
+			if base.Err != nil || ext.Err != nil {
+				fmt.Fprintf(out, "  %-12s ERROR base=%v ext=%v\n", app, base.Err, ext.Err)
+				continue
+			}
+			ov := Overhead(base, ext)
+			if ov < lo {
+				lo = ov
+			}
+			if ov > hi {
+				hi = ov
+			}
+			fmt.Fprintf(out, "  %-12s base %8s ms  extended %8s ms  overhead %+5.0f%%\n",
+				app, ms(base.ExecNs), ms(ext.ExecNs), ov)
+		}
+		fmt.Fprintf(out, "  range: %+.0f%% .. %+.0f%%\n", lo, hi)
+	}
+}
+
+// DiffAnalysis renders the §5.3.1 diff/checkpoint analysis table: how many
+// pages each application diffs, the fraction landing on the committer's
+// own home pages (the base protocol never diffs those; the extension ships
+// them twice), and the checkpoint count.
+func DiffAnalysis(out io.Writer, size Size, nodes int) {
+	fmt.Fprintf(out, "Diff analysis (extended protocol, %d nodes x 1 thread, size=%s)\n", nodes, size)
+	fmt.Fprintf(out, "%-14s %12s %12s %10s %12s\n", "app", "pages diffed", "home pages", "home frac", "checkpoints")
+	for _, app := range AppNames {
+		r, st := runWithStats(Config{App: app, Size: size, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1})
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-14s ERROR: %v\n", app, r.Err)
+			continue
+		}
+		fmt.Fprintf(out, "%-14s %12d %12d %9.0f%% %12d\n",
+			app, st.PagesDiffed, st.HomePagesDiffed, 100*st.HomeDiffFraction(), r.Checkpoints)
+	}
+}
+
+// ScalingSummary sweeps the cluster size: the paper evaluates only 8
+// nodes, but the protocol's costs (dual-home diffs, replicated locks,
+// backup checkpoints) shift with scale — at 2 nodes every page's two
+// replicas cover the whole machine, while larger clusters localize the
+// replication traffic.
+func ScalingSummary(out io.Writer, size Size, apps []string) {
+	fmt.Fprintf(out, "Scaling: extended-protocol overhead vs cluster size (1 thread/node, size=%s)\n", size)
+	fmt.Fprintf(out, "%-14s %8s %12s %12s %10s\n", "app", "nodes", "base ms", "extended ms", "overhead")
+	for _, app := range apps {
+		for _, nodes := range []int{2, 4, 8, 16} {
+			base, ext := RunPair(app, size, nodes, 1)
+			if base.Err != nil || ext.Err != nil {
+				fmt.Fprintf(out, "%-14s %8d ERROR base=%v ext=%v\n", app, nodes, base.Err, ext.Err)
+				continue
+			}
+			fmt.Fprintf(out, "%-14s %8d %12.1f %12.1f %+9.0f%%\n",
+				app, nodes, float64(base.ExecNs)/1e6, float64(ext.ExecNs)/1e6, Overhead(base, ext))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftsvm/internal/apps"
+	"ftsvm/internal/svm"
+)
+
+func TestBuildAllApps(t *testing.T) {
+	s := apps.Shape{Nodes: 4, ThreadsPerNode: 1, PageSize: 4096}
+	for _, app := range AppNames {
+		w, err := Build(app, SizeSmall, s)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if w.Pages <= 0 || w.Body == nil {
+			t.Fatalf("%s: malformed workload", app)
+		}
+	}
+	if _, err := Build("nosuch", SizeSmall, s); err == nil {
+		t.Fatal("unknown app did not error")
+	}
+}
+
+func TestRunPairSmall(t *testing.T) {
+	base, ext := RunPair("radix", SizeSmall, 4, 1)
+	if base.Err != nil || ext.Err != nil {
+		t.Fatalf("base=%v ext=%v", base.Err, ext.Err)
+	}
+	if base.ExecNs <= 0 || ext.ExecNs <= base.ExecNs {
+		t.Fatalf("exec times base=%d ext=%d: extended must cost more", base.ExecNs, ext.ExecNs)
+	}
+	if ext.Checkpoints == 0 {
+		t.Fatal("extended run took no checkpoints")
+	}
+	if base.Checkpoints != 0 {
+		t.Fatal("base run took checkpoints")
+	}
+	if ext.MsgsSent <= base.MsgsSent {
+		t.Fatal("extended protocol should send more messages (dual homes)")
+	}
+}
+
+func TestFigureBreakdownRenders(t *testing.T) {
+	var buf bytes.Buffer
+	FigureBreakdown(&buf, SizeSmall, 4, 1, false)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "fft") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if strings.Contains(out, "ERROR") {
+		t.Fatalf("figure contains errors:\n%s", out)
+	}
+}
+
+func TestOverheadPositiveAcrossApps(t *testing.T) {
+	for _, app := range AppNames {
+		base, ext := RunPair(app, SizeSmall, 4, 1)
+		if base.Err != nil || ext.Err != nil {
+			t.Fatalf("%s: base=%v ext=%v", app, base.Err, ext.Err)
+		}
+		if ov := Overhead(base, ext); ov <= 0 {
+			t.Errorf("%s: overhead %.1f%%, want positive", app, ov)
+		}
+	}
+}
+
+var _ = svm.ModeBase

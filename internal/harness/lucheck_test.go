@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"testing"
+
+	"ftsvm/internal/svm"
+)
+
+func TestLUMediumProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, size := range []Size{SizeSmall, SizeMedium} {
+		base := Run(Config{App: "lu", Size: size, Mode: svm.ModeBase, Nodes: 8, ThreadsPerNode: 1})
+		if base.Err != nil {
+			t.Fatal(base.Err)
+		}
+		c, d, l, b := base.Breakdown.FourWay()
+		t.Logf("%s: total=%.1fms compute=%.1f data=%.1f lock=%.1f barrier=%.1f msgs=%d",
+			size, float64(base.ExecNs)/1e6, float64(c)/1e6, float64(d)/1e6, float64(l)/1e6, float64(b)/1e6, base.MsgsSent)
+	}
+}

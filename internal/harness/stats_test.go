@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"testing"
+
+	"ftsvm/internal/apps"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+// statsFor runs one extended-protocol configuration and returns the
+// protocol counters.
+func statsFor(t *testing.T, app string, size Size) svm.ProtoStats {
+	t.Helper()
+	cfg := model.Default()
+	cfg.Nodes = 8
+	s := apps.Shape{Nodes: 8, ThreadsPerNode: 1, PageSize: cfg.PageSize}
+	w, err := Build(app, size, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := svm.New(svm.Options{
+		Config: cfg, Mode: svm.ModeFT, Pages: w.Pages, Locks: w.Locks,
+		HomeAssign: w.HomeAssign, Body: w.Body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return cl.ProtoStats()
+}
+
+// TestHomeDiffFractions reproduces the paper's §5.3.1 diff analysis: the
+// fraction of diffed pages that are the committer's own home pages is
+// near-total for the partitioned applications (FFT, LU, Water-SpatialFL),
+// moderate for Water-Nsquared (~25% in the paper), and small for
+// RadixLocal (~12%), whose permutation writes land mostly on other
+// owners' pages.
+func TestHomeDiffFractions(t *testing.T) {
+	// Page-level home fractions only emerge once the data spans enough
+	// pages for per-owner placement to matter; use the medium size.
+	frac := map[string]float64{}
+	for _, app := range AppNames {
+		st := statsFor(t, app, SizeMedium)
+		if st.PagesDiffed == 0 {
+			t.Fatalf("%s: no pages diffed", app)
+		}
+		frac[app] = st.HomeDiffFraction()
+		t.Logf("%-10s home-diff fraction %.0f%%", app, 100*frac[app])
+	}
+	if frac["watersp"] < 0.85 {
+		// At medium size page granularity still blurs cell ownership; the
+		// paper-size run reaches >99% (TestHomeDiffFractionPaperSize).
+		t.Errorf("watersp home-diff fraction %.2f, want > 0.85", frac["watersp"])
+	}
+	if frac["fft"] < 0.90 || frac["lu"] < 0.80 {
+		t.Errorf("fft/lu home-diff fractions %.2f/%.2f, want near-total", frac["fft"], frac["lu"])
+	}
+	if frac["radix"] > 0.50 {
+		t.Errorf("radix home-diff fraction %.2f, want small (paper: ~12%%)", frac["radix"])
+	}
+	if frac["radix"] >= frac["watersp"] {
+		t.Errorf("radix (%.2f) should diff fewer home pages than watersp (%.2f)",
+			frac["radix"], frac["watersp"])
+	}
+}
+
+// TestStatsBasicShape checks the counters are self-consistent.
+func TestStatsBasicShape(t *testing.T) {
+	st := statsFor(t, "waternsq", SizeSmall)
+	if st.HomePagesDiffed > st.PagesDiffed {
+		t.Fatal("home-diffed exceeds total diffed")
+	}
+	if st.Intervals == 0 || st.WriteFaults == 0 || st.ReadFaults == 0 {
+		t.Fatalf("missing activity: %+v", st)
+	}
+	if st.RemoteFetches+st.LocalFetches == 0 {
+		t.Fatal("no fetches recorded")
+	}
+	if st.RemoteAcquires == 0 {
+		t.Fatal("no lock acquisitions recorded")
+	}
+	if st.BarrierEpisodes == 0 {
+		t.Fatal("no barrier episodes recorded")
+	}
+	if st.Recoveries != 0 || st.MigratedThreads != 0 {
+		t.Fatal("failure counters nonzero in a failure-free run")
+	}
+	if st.DiffMsgs == 0 || st.DiffBytes == 0 {
+		t.Fatal("no diff traffic recorded")
+	}
+}
+
+// TestStatsRecoveryCounters verifies failure counters after an injected
+// failure.
+func TestStatsRecoveryCounters(t *testing.T) {
+	cfg := model.Default()
+	cfg.Nodes = 4
+	s := apps.Shape{Nodes: 4, ThreadsPerNode: 1, PageSize: cfg.PageSize}
+	w, err := Build("radix", SizeSmall, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := svm.New(svm.Options{
+		Config: cfg, Mode: svm.ModeFT, Pages: w.Pages, Locks: w.Locks,
+		HomeAssign: w.HomeAssign, Body: w.Body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Engine().At(3_000_000, func() { cl.KillNode(2) })
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.ProtoStats()
+	if st.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", st.Recoveries)
+	}
+	if st.MigratedThreads != 1 {
+		t.Fatalf("MigratedThreads = %d, want 1", st.MigratedThreads)
+	}
+}

@@ -1,0 +1,110 @@
+// Package mem implements the page-level memory primitives of the SVM
+// system: twins, word-granularity diffs, and their wire-size accounting.
+//
+// Diffs are the multiple-writer mechanism of lazy release consistency: a
+// writer compares the current page contents against the twin (the copy
+// taken before its first write in the interval) and ships only the
+// modified words, so writers of disjoint parts of one page never conflict.
+package mem
+
+// Run is one contiguous modified region of a page.
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// Diff is the set of modifications a node made to one page during an
+// interval, relative to the page's twin.
+type Diff struct {
+	Page int
+	Runs []Run
+}
+
+// runHeaderBytes approximates the wire encoding overhead of one run
+// (offset + length).
+const runHeaderBytes = 8
+
+// diffHeaderBytes approximates the wire encoding overhead of one diff
+// (page id + run count + protocol tag).
+const diffHeaderBytes = 16
+
+// Compute compares cur against twin with word granularity and returns the
+// modified regions, merging adjacent modified words into single runs. The
+// two slices must have equal length, a multiple of word. The returned runs
+// hold copies of cur's data, so cur may keep changing afterwards.
+func Compute(twin, cur []byte, word int) []Run {
+	if len(twin) != len(cur) {
+		panic("mem: twin/current length mismatch")
+	}
+	var runs []Run
+	start := -1
+	for off := 0; off <= len(cur); off += word {
+		same := off == len(cur) || wordEqual(twin, cur, off, word)
+		switch {
+		case !same && start < 0:
+			start = off
+		case same && start >= 0:
+			data := make([]byte, off-start)
+			copy(data, cur[start:off])
+			runs = append(runs, Run{Off: start, Data: data})
+			start = -1
+		}
+	}
+	return runs
+}
+
+func wordEqual(a, b []byte, off, word int) bool {
+	for i := off; i < off+word && i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply writes the runs into dst.
+func (d *Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// DataBytes returns the number of payload bytes carried by the diff.
+func (d *Diff) DataBytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// WireBytes returns the modeled on-the-wire size of the diff, including
+// run and diff headers.
+func (d *Diff) WireBytes() int {
+	return diffHeaderBytes + len(d.Runs)*runHeaderBytes + d.DataBytes()
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d *Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Clone returns a deep copy of the diff, so the original can be retained
+// locally (the extended protocol stores diffs between its two propagation
+// phases) while a copy travels.
+func (d *Diff) Clone() *Diff {
+	c := &Diff{Page: d.Page, Runs: make([]Run, len(d.Runs))}
+	for i, r := range d.Runs {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		c.Runs[i] = Run{Off: r.Off, Data: data}
+	}
+	return c
+}
+
+// FirstOff returns the offset of the first run, or -1 for an empty diff
+// (diagnostic helper).
+func (d *Diff) FirstOff() int {
+	if len(d.Runs) == 0 {
+		return -1
+	}
+	return d.Runs[0].Off
+}

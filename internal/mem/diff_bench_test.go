@@ -1,0 +1,66 @@
+package mem
+
+import "testing"
+
+// benchPage builds a twin/current pair where frac per mille of the words
+// differ, spread uniformly — the diff-computation regimes the protocol
+// sees range from a few scattered words (lock-based apps) to fully
+// rewritten pages (FFT/LU between barriers).
+func benchPage(size, fracPerMille int) (twin, cur []byte) {
+	twin = make([]byte, size)
+	cur = make([]byte, size)
+	for i := range twin {
+		twin[i] = byte(i * 31)
+	}
+	copy(cur, twin)
+	words := size / 8
+	step := 0
+	for w := 0; w < words; w++ {
+		step += fracPerMille
+		if step >= 1000 {
+			step -= 1000
+			cur[w*8] ^= 0xff
+		}
+	}
+	return
+}
+
+func benchCompute(b *testing.B, fracPerMille int) {
+	twin, cur := benchPage(4096, fracPerMille)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runs := Compute(twin, cur, 8)
+		if fracPerMille > 0 && len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+func BenchmarkComputeClean(b *testing.B)  { benchCompute(b, 0) }
+func BenchmarkComputeSparse(b *testing.B) { benchCompute(b, 20) }
+func BenchmarkComputeHalf(b *testing.B)   { benchCompute(b, 500) }
+func BenchmarkComputeFull(b *testing.B)   { benchCompute(b, 1000) }
+
+func BenchmarkApply(b *testing.B) {
+	twin, cur := benchPage(4096, 200)
+	d := &Diff{Page: 0, Runs: Compute(twin, cur, 8)}
+	dst := make([]byte, 4096)
+	copy(dst, twin)
+	b.SetBytes(int64(d.DataBytes()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Apply(dst)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	twin, cur := benchPage(4096, 200)
+	d := &Diff{Page: 0, Runs: Compute(twin, cur, 8)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := d.Clone(); c.Empty() {
+			b.Fatal("empty clone")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeEmpty(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	if runs := Compute(a, b, 4); len(runs) != 0 {
+		t.Fatalf("identical pages produced %d runs", len(runs))
+	}
+}
+
+func TestComputeSingleWord(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[17] = 9 // inside word starting at 16
+	runs := Compute(twin, cur, 4)
+	if len(runs) != 1 || runs[0].Off != 16 || len(runs[0].Data) != 4 {
+		t.Fatalf("runs = %+v, want one 4-byte run at 16", runs)
+	}
+}
+
+func TestComputeMergesAdjacent(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	for i := 8; i < 24; i++ {
+		cur[i] = 1
+	}
+	runs := Compute(twin, cur, 4)
+	if len(runs) != 1 || runs[0].Off != 8 || len(runs[0].Data) != 16 {
+		t.Fatalf("runs = %+v, want one merged run [8,24)", runs)
+	}
+}
+
+func TestComputeTailModified(t *testing.T) {
+	twin := make([]byte, 32)
+	cur := make([]byte, 32)
+	cur[31] = 5
+	runs := Compute(twin, cur, 4)
+	if len(runs) != 1 || runs[0].Off != 28 || len(runs[0].Data) != 4 {
+		t.Fatalf("runs = %+v, want run covering final word", runs)
+	}
+}
+
+func TestComputeCopiesData(t *testing.T) {
+	twin := make([]byte, 16)
+	cur := make([]byte, 16)
+	cur[0] = 1
+	runs := Compute(twin, cur, 4)
+	cur[0] = 99 // mutate after Compute
+	if runs[0].Data[0] != 1 {
+		t.Fatal("Compute aliased the live page instead of copying")
+	}
+}
+
+// Property: applying Compute(twin, cur) to a copy of twin reproduces cur.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nWordsRaw uint8, nMutsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nWords := int(nWordsRaw%64) + 1
+		size := nWords * 4
+		twin := make([]byte, size)
+		rng.Read(twin)
+		cur := make([]byte, size)
+		copy(cur, twin)
+		for i := 0; i < int(nMutsRaw); i++ {
+			cur[rng.Intn(size)] = byte(rng.Intn(256))
+		}
+		d := Diff{Page: 0, Runs: Compute(twin, cur, 4)}
+		got := make([]byte, size)
+		copy(got, twin)
+		d.Apply(got)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two writers modifying disjoint word ranges of the same page
+// merge to the union regardless of application order (the multiple-writer
+// guarantee).
+func TestDisjointWritersMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 256
+		base := make([]byte, size)
+		rng.Read(base)
+
+		// Writer A mutates even words, writer B odd words.
+		curA := append([]byte(nil), base...)
+		curB := append([]byte(nil), base...)
+		for w := 0; w < size/4; w++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			tgt := curA
+			if w%2 == 1 {
+				tgt = curB
+			}
+			for i := 0; i < 4; i++ {
+				tgt[w*4+i] = byte(rng.Intn(256))
+			}
+		}
+		dA := Diff{Runs: Compute(base, curA, 4)}
+		dB := Diff{Runs: Compute(base, curB, 4)}
+
+		home1 := append([]byte(nil), base...)
+		dA.Apply(home1)
+		dB.Apply(home1)
+		home2 := append([]byte(nil), base...)
+		dB.Apply(home2)
+		dA.Apply(home2)
+
+		if !bytes.Equal(home1, home2) {
+			return false
+		}
+		// The merge must contain both writers' updates.
+		for w := 0; w < size/4; w++ {
+			want := curA
+			if w%2 == 1 {
+				want = curB
+			}
+			if !bytes.Equal(home1[w*4:w*4+4], want[w*4:w*4+4]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	d := Diff{Runs: []Run{{Off: 0, Data: make([]byte, 12)}, {Off: 40, Data: make([]byte, 4)}}}
+	if d.DataBytes() != 16 {
+		t.Fatalf("DataBytes = %d", d.DataBytes())
+	}
+	if d.WireBytes() != diffHeaderBytes+2*runHeaderBytes+16 {
+		t.Fatalf("WireBytes = %d", d.WireBytes())
+	}
+	if d.Empty() {
+		t.Fatal("non-empty diff reported Empty")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := Diff{Page: 3, Runs: []Run{{Off: 4, Data: []byte{1, 2, 3, 4}}}}
+	c := d.Clone()
+	c.Runs[0].Data[0] = 99
+	if d.Runs[0].Data[0] != 1 {
+		t.Fatal("Clone shares data with original")
+	}
+	if c.Page != 3 || c.Runs[0].Off != 4 {
+		t.Fatalf("clone mismatch: %+v", c)
+	}
+}
+
+func TestComputeMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Compute(make([]byte, 8), make([]byte, 16), 4)
+}

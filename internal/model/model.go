@@ -1,0 +1,150 @@
+// Package model defines the cost model for the simulated SVM cluster: the
+// latency, bandwidth, occupancy, and CPU parameters that the discrete-event
+// simulation charges for every protocol and application action.
+//
+// Defaults are calibrated to the paper's testbed: 8 dual-processor 400 MHz
+// Pentium-II nodes on a Myrinet SAN with VMMC (one-way latency ~8 µs,
+// bandwidth ~100 MB/s limited by the PCI bus, 4 KB pages).
+package model
+
+import "fmt"
+
+// Config holds every tunable of the simulation. The zero value is not
+// usable; start from Default and override fields.
+type Config struct {
+	// Cluster shape.
+	Nodes          int // number of nodes (paper: 8)
+	ThreadsPerNode int // compute threads per SMP node (paper: 1 or 2)
+
+	// Shared-memory layout.
+	PageSize int // bytes per shared page (paper: 4096)
+	WordSize int // diff granularity in bytes (paper: 4-byte words)
+
+	// Network (Myrinet + VMMC).
+	LinkLatencyNs      int64   // one-way end-to-end small-message latency
+	BandwidthNsPerByte float64 // inverse bandwidth of a link/DMA transfer
+	NICPostOverheadNs  int64   // sender CPU+NIC occupancy to post one message
+	NICDrainOverheadNs int64   // NIC occupancy per message while draining the post queue
+	PostQueueDepth     int     // asynchronous send (post) queue depth; senders block when full
+
+	// Local memory system.
+	MemCopyNsPerByte     float64 // local page copy (twin creation, local fetch)
+	DiffComputeNsPerByte float64 // word-compare cost of diff creation
+	ReadAccessNs         int64   // charged per shared-memory read API call
+	WriteAccessNs        int64   // charged per shared-memory write API call
+	SMPContention        float64 // extra fractional cost per additional concurrently active thread on a node
+
+	// Protocol processing.
+	ProtoOpNs       int64 // generic protocol action (invalidate a page, handle a notice)
+	PageFaultTrapNs int64 // entering/leaving the fault handler
+
+	// Checkpointing (extended protocol only).
+	CheckpointNsPerByte float64 // serialize + local staging of thread state
+	MinCheckpointBytes  int     // floor for a checkpoint blob (paper stacks: 2-2.8 KB)
+	ThreadSuspendNs     int64   // suspend+resume one sibling thread (point A)
+
+	// Lock algorithm tuning.
+	LockBackoffMinNs int64 // polling-lock retry backoff lower bound
+	LockBackoffMaxNs int64 // polling-lock retry backoff upper bound
+
+	// Failure detection.
+	HeartbeatTimeoutNs int64 // spin period between liveness probes while waiting
+
+	// Simulation.
+	Seed int64
+}
+
+// Default returns the paper-calibrated configuration: 8 nodes, 1 thread per
+// node, Myrinet/VMMC costs.
+func Default() Config {
+	return Config{
+		Nodes:          8,
+		ThreadsPerNode: 1,
+
+		PageSize: 4096,
+		WordSize: 4,
+
+		LinkLatencyNs:      8_000, // 8 µs one-way (paper §5.1)
+		BandwidthNsPerByte: 10.0,  // ~100 MB/s
+		NICPostOverheadNs:  2_000,
+		NICDrainOverheadNs: 500,
+		PostQueueDepth:     64,
+
+		MemCopyNsPerByte:     1.0, // ~1 GB/s local copy
+		DiffComputeNsPerByte: 3.0, // word compare + run encoding on a 400 MHz CPU
+		ReadAccessNs:         25,
+		WriteAccessNs:        30,
+		SMPContention:        0.20,
+
+		ProtoOpNs:       400,
+		PageFaultTrapNs: 2_000,
+
+		CheckpointNsPerByte: 2.0,
+		MinCheckpointBytes:  2048,
+		ThreadSuspendNs:     5_000,
+
+		LockBackoffMinNs: 5_000,
+		LockBackoffMaxNs: 40_000,
+
+		HeartbeatTimeoutNs: 2_000_000, // 2 ms
+
+		Seed: 1,
+	}
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("model: Nodes = %d, need >= 1", c.Nodes)
+	case c.ThreadsPerNode < 1:
+		return fmt.Errorf("model: ThreadsPerNode = %d, need >= 1", c.ThreadsPerNode)
+	case c.PageSize < c.WordSize || c.PageSize%c.WordSize != 0:
+		return fmt.Errorf("model: PageSize %d not a multiple of WordSize %d", c.PageSize, c.WordSize)
+	case c.WordSize != 4 && c.WordSize != 8:
+		return fmt.Errorf("model: WordSize = %d, need 4 or 8", c.WordSize)
+	case c.PostQueueDepth < 1:
+		return fmt.Errorf("model: PostQueueDepth = %d, need >= 1", c.PostQueueDepth)
+	case c.LinkLatencyNs < 0 || c.BandwidthNsPerByte < 0:
+		return fmt.Errorf("model: negative network cost")
+	case c.HeartbeatTimeoutNs <= 0:
+		return fmt.Errorf("model: HeartbeatTimeoutNs must be positive")
+	case c.LockBackoffMaxNs < c.LockBackoffMinNs:
+		return fmt.Errorf("model: lock backoff max < min")
+	}
+	return nil
+}
+
+// TransferNs returns the modeled wire time for a message of size bytes:
+// latency plus size over bandwidth.
+func (c *Config) TransferNs(size int) int64 {
+	return c.LinkLatencyNs + int64(float64(size)*c.BandwidthNsPerByte)
+}
+
+// CopyNs returns the modeled local memory-copy time for size bytes.
+func (c *Config) CopyNs(size int) int64 {
+	return int64(float64(size) * c.MemCopyNsPerByte)
+}
+
+// DiffNs returns the modeled CPU time to compute a diff over size bytes.
+func (c *Config) DiffNs(size int) int64 {
+	return int64(float64(size) * c.DiffComputeNsPerByte)
+}
+
+// CheckpointNs returns the modeled CPU time to capture a checkpoint blob of
+// size bytes (before transmission, which is charged separately).
+func (c *Config) CheckpointNs(size int) int64 {
+	if size < c.MinCheckpointBytes {
+		size = c.MinCheckpointBytes
+	}
+	return int64(float64(size) * c.CheckpointNsPerByte)
+}
+
+// Contention scales a CPU cost by the SMP memory-bus contention factor for
+// a node with active concurrently running threads.
+func (c *Config) Contention(cost int64, active int) int64 {
+	if active <= 1 {
+		return cost
+	}
+	return int64(float64(cost) * (1 + c.SMPContention*float64(active-1)))
+}

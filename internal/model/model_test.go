@@ -1,0 +1,68 @@
+package model
+
+import "testing"
+
+func TestDefaultValidates(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }},
+		{"zero threads", func(c *Config) { c.ThreadsPerNode = 0 }},
+		{"bad word size", func(c *Config) { c.WordSize = 3 }},
+		{"page not multiple", func(c *Config) { c.PageSize = 4097 }},
+		{"zero post queue", func(c *Config) { c.PostQueueDepth = 0 }},
+		{"negative latency", func(c *Config) { c.LinkLatencyNs = -1 }},
+		{"zero heartbeat", func(c *Config) { c.HeartbeatTimeoutNs = 0 }},
+		{"backoff inverted", func(c *Config) { c.LockBackoffMaxNs = c.LockBackoffMinNs - 1 }},
+	}
+	for _, c := range cases {
+		cfg := Default()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTransferNs(t *testing.T) {
+	cfg := Default()
+	got := cfg.TransferNs(4096)
+	want := cfg.LinkLatencyNs + int64(4096*cfg.BandwidthNsPerByte)
+	if got != want {
+		t.Fatalf("TransferNs = %d, want %d", got, want)
+	}
+}
+
+func TestCheckpointNsFloor(t *testing.T) {
+	cfg := Default()
+	small := cfg.CheckpointNs(10)
+	floor := cfg.CheckpointNs(cfg.MinCheckpointBytes)
+	if small != floor {
+		t.Fatalf("floor not applied: %d vs %d", small, floor)
+	}
+	if cfg.CheckpointNs(2*cfg.MinCheckpointBytes) <= floor {
+		t.Fatal("checkpoint cost not increasing with size")
+	}
+}
+
+func TestContention(t *testing.T) {
+	cfg := Default()
+	if cfg.Contention(1000, 1) != 1000 {
+		t.Fatal("single thread must be uncontended")
+	}
+	two := cfg.Contention(1000, 2)
+	if two <= 1000 {
+		t.Fatalf("two active threads should cost more: %d", two)
+	}
+	if cfg.Contention(1000, 3) <= two {
+		t.Fatal("contention should grow with active threads")
+	}
+}

@@ -1,0 +1,132 @@
+package proto
+
+import "fmt"
+
+// Role distinguishes the two replicas of an item (page or lock).
+type Role int
+
+const (
+	// Primary is the home whose copy is fetched during failure-free
+	// execution (the committed copy for pages).
+	Primary Role = iota
+	// Secondary is the backup home (the tentative copy for pages).
+	Secondary
+)
+
+func (r Role) String() string {
+	if r == Primary {
+		return "primary"
+	}
+	return "secondary"
+}
+
+// HomeMap assigns each item (shared page or lock) a primary and a secondary
+// home on two distinct nodes, and reassigns homes when a node fails so that
+// two distinct live replicas always exist. The same structure serves pages
+// and locks; the paper uses the identical scheme for both.
+type HomeMap struct {
+	nodes     int
+	alive     []bool
+	nAlive    int
+	primary   []NodeID
+	secondary []NodeID
+}
+
+// Reassignment describes one home change performed by Rehome: the item's
+// role now lives on NewNode, and the still-valid replica that must seed the
+// new copy lives on Survivor.
+type Reassignment struct {
+	Item     int
+	Role     Role
+	NewNode  NodeID
+	Survivor NodeID
+}
+
+// NewHomeMap builds a home map for items items over nodes nodes. assign
+// gives each item's primary home (the paper lets the application choose
+// primaries for locality); the secondary home starts as the next node in
+// node order, as in the paper.
+func NewHomeMap(items, nodes int, assign func(item int) NodeID) *HomeMap {
+	if nodes < 2 {
+		panic("proto: HomeMap needs at least 2 nodes for replication")
+	}
+	h := &HomeMap{
+		nodes:     nodes,
+		alive:     make([]bool, nodes),
+		nAlive:    nodes,
+		primary:   make([]NodeID, items),
+		secondary: make([]NodeID, items),
+	}
+	for i := range h.alive {
+		h.alive[i] = true
+	}
+	for i := 0; i < items; i++ {
+		p := assign(i)
+		if p < 0 || p >= nodes {
+			panic(fmt.Sprintf("proto: assign(%d) = %d out of range", i, p))
+		}
+		h.primary[i] = p
+		h.secondary[i] = (p + 1) % nodes
+	}
+	return h
+}
+
+// Items returns the number of items managed by the map.
+func (h *HomeMap) Items() int { return len(h.primary) }
+
+// Primary returns the item's current primary home.
+func (h *HomeMap) Primary(item int) NodeID { return h.primary[item] }
+
+// Secondary returns the item's current secondary home.
+func (h *HomeMap) Secondary(item int) NodeID { return h.secondary[item] }
+
+// Alive reports whether the map still considers node live.
+func (h *HomeMap) Alive(n NodeID) bool { return h.alive[n] }
+
+// AliveCount returns the number of live nodes.
+func (h *HomeMap) AliveCount() int { return h.nAlive }
+
+// nextAlive returns the first live node after n in ring order that differs
+// from exclude.
+func (h *HomeMap) nextAlive(n NodeID, exclude NodeID) NodeID {
+	for i := 1; i <= h.nodes; i++ {
+		c := (n + i) % h.nodes
+		if h.alive[c] && c != exclude {
+			return c
+		}
+	}
+	panic("proto: no live node available for rehoming")
+}
+
+// Rehome marks failed as dead and reassigns every home role it held,
+// guaranteeing the two replicas of each item stay on distinct live nodes.
+// It returns the reassignments so the caller can rebuild the new copies
+// from the surviving replicas. Rehoming below 2 live nodes panics: the
+// scheme cannot replicate on a single node.
+func (h *HomeMap) Rehome(failed NodeID) []Reassignment {
+	if !h.alive[failed] {
+		return nil
+	}
+	h.alive[failed] = false
+	h.nAlive--
+	if h.nAlive < 2 {
+		panic("proto: fewer than 2 live nodes; replication impossible")
+	}
+	var out []Reassignment
+	for i := range h.primary {
+		switch {
+		case h.primary[i] == failed:
+			// Promote the secondary, then pick a fresh secondary.
+			h.primary[i] = h.secondary[i]
+			h.secondary[i] = h.nextAlive(h.primary[i], h.primary[i])
+			out = append(out,
+				Reassignment{Item: i, Role: Primary, NewNode: h.primary[i], Survivor: h.primary[i]},
+				Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+		case h.secondary[i] == failed:
+			h.secondary[i] = h.nextAlive(h.primary[i], h.primary[i])
+			out = append(out,
+				Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+		}
+	}
+	return out
+}

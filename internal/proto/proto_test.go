@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vecFrom(xs ...int32) VectorTime { return VectorTime(xs) }
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if !v.Equal(vecFrom(0, 0, 0)) {
+		t.Fatal("new vector not zero")
+	}
+	v[1] = 5
+	c := v.Clone()
+	c[1] = 9
+	if v[1] != 5 {
+		t.Fatal("Clone aliases original")
+	}
+	v.Merge(vecFrom(1, 2, 7))
+	if !v.Equal(vecFrom(1, 5, 7)) {
+		t.Fatalf("Merge = %v", v)
+	}
+	if !v.Covers(vecFrom(1, 5, 7)) || v.Covers(vecFrom(2, 0, 0)) {
+		t.Fatal("Covers wrong")
+	}
+}
+
+func randVec(rng *rand.Rand, n int) VectorTime {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = int32(rng.Intn(10))
+	}
+	return v
+}
+
+// Property: Merge is the lattice join — commutative, associative,
+// idempotent, and an upper bound of both operands.
+func TestMergeLatticeLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 8
+		a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false // commutativity
+		}
+		abc1 := ab.Clone()
+		abc1.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		abc2 := a.Clone()
+		abc2.Merge(bc)
+		if !abc1.Equal(abc2) {
+			return false // associativity
+		}
+		aa := a.Clone()
+		aa.Merge(a)
+		if !aa.Equal(a) {
+			return false // idempotence
+		}
+		return ab.Covers(a) && ab.Covers(b) // upper bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Covers is a partial order compatible with Merge:
+// a.Covers(b) iff merge(a,b) == a.
+func TestCoversMergeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVec(rng, 6), randVec(rng, 6)
+		m := a.Clone()
+		m.Merge(b)
+		return a.Covers(b) == m.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeMapInitialAssignment(t *testing.T) {
+	h := NewHomeMap(10, 4, func(i int) NodeID { return i % 4 })
+	for i := 0; i < 10; i++ {
+		if h.Primary(i) != i%4 {
+			t.Fatalf("page %d primary = %d", i, h.Primary(i))
+		}
+		if h.Secondary(i) != (i+1)%4 {
+			t.Fatalf("page %d secondary = %d", i, h.Secondary(i))
+		}
+		if h.Primary(i) == h.Secondary(i) {
+			t.Fatalf("page %d replicas colocated", i)
+		}
+	}
+}
+
+// Property: after any sequence of failures (down to 2 live nodes), every
+// item's two replicas are on distinct live nodes, and failed nodes hold no
+// role.
+func TestRehomeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 8
+		const items = 40
+		h := NewHomeMap(items, nodes, func(i int) NodeID { return rng.Intn(nodes) })
+		perm := rng.Perm(nodes)
+		for k := 0; k < nodes-2; k++ { // leave 2 alive
+			h.Rehome(perm[k])
+			for i := 0; i < items; i++ {
+				p, s := h.Primary(i), h.Secondary(i)
+				if p == s || !h.Alive(p) || !h.Alive(s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRehomeSurvivorHoldsValidReplica(t *testing.T) {
+	h := NewHomeMap(8, 4, func(i int) NodeID { return i % 4 })
+	// Record pre-failure replica holders.
+	holders := make(map[int][2]NodeID)
+	for i := 0; i < 8; i++ {
+		holders[i] = [2]NodeID{h.Primary(i), h.Secondary(i)}
+	}
+	for _, r := range h.Rehome(2) {
+		was := holders[r.Item]
+		if r.Survivor != was[0] && r.Survivor != was[1] {
+			t.Fatalf("item %d: survivor %d held no replica (%v)", r.Item, r.Survivor, was)
+		}
+		if r.Survivor == 2 {
+			t.Fatalf("item %d: survivor is the failed node", r.Item)
+		}
+	}
+}
+
+func TestRehomeIdempotentOnDeadNode(t *testing.T) {
+	h := NewHomeMap(4, 4, func(i int) NodeID { return i % 4 })
+	h.Rehome(1)
+	if got := h.Rehome(1); got != nil {
+		t.Fatalf("second Rehome(1) returned %v, want nil", got)
+	}
+	if h.AliveCount() != 3 {
+		t.Fatalf("AliveCount = %d", h.AliveCount())
+	}
+}
+
+func TestSuccessiveFailures(t *testing.T) {
+	// The paper tolerates multiple non-simultaneous failures; exercise the
+	// home map through a long failure sequence.
+	h := NewHomeMap(100, 8, func(i int) NodeID { return i % 8 })
+	for _, f := range []NodeID{0, 3, 7, 1, 5, 6} {
+		h.Rehome(f)
+	}
+	if h.AliveCount() != 2 {
+		t.Fatalf("AliveCount = %d", h.AliveCount())
+	}
+	for i := 0; i < 100; i++ {
+		p, s := h.Primary(i), h.Secondary(i)
+		if !(p == 2 && s == 4 || p == 4 && s == 2) {
+			t.Fatalf("item %d on (%d,%d), want spread over {2,4}", i, p, s)
+		}
+	}
+}
+
+func TestUpdateListWireBytes(t *testing.T) {
+	u := UpdateList{Node: 1, Interval: 3, Pages: []PageID{1, 2, 3}}
+	if u.WireBytes() != 16+12 {
+		t.Fatalf("WireBytes = %d", u.WireBytes())
+	}
+}
+
+// BenchmarkVectorMerge measures the lattice-join hot path (run at every
+// acquire, barrier, and update-list application).
+func BenchmarkVectorMerge(b *testing.B) {
+	a := NewVector(16)
+	c := NewVector(16)
+	for i := range c {
+		c[i] = int32(i * 100)
+	}
+	for i := 0; i < b.N; i++ {
+		a.Merge(c)
+	}
+}
+
+// BenchmarkVectorCovers measures the dominance test used by every fetch
+// wait and deferred-reply scan.
+func BenchmarkVectorCovers(b *testing.B) {
+	a := NewVector(16)
+	c := NewVector(16)
+	for i := range a {
+		a[i] = int32(i * 100)
+		c[i] = int32(i * 99)
+	}
+	for i := 0; i < b.N; i++ {
+		if !a.Covers(c) {
+			b.Fatal("must cover")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package proto defines the protocol-level data structures shared by the
+// base and extended SVM protocols: vector timestamps, interval update
+// lists, per-page version vectors, and the (replicated) home maps with
+// their failure-time rehoming rule.
+package proto
+
+// NodeID identifies a cluster node.
+type NodeID = int
+
+// PageID identifies a shared page.
+type PageID = int
+
+// LockID identifies an application lock.
+type LockID = int
+
+// VectorTime is a per-node vector of interval counters. Element i is the
+// number of intervals of node i whose updates the owner has performed
+// (or, for a node's own entry, has committed).
+type VectorTime []int32
+
+// NewVector returns a zero vector for n nodes.
+func NewVector(n int) VectorTime { return make(VectorTime, n) }
+
+// Clone returns an independent copy.
+func (v VectorTime) Clone() VectorTime {
+	c := make(VectorTime, len(v))
+	copy(c, v)
+	return c
+}
+
+// Merge sets v to the element-wise maximum of v and o.
+func (v VectorTime) Merge(o VectorTime) {
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Covers reports whether v >= o element-wise.
+func (v VectorTime) Covers(o VectorTime) bool {
+	for i, x := range o {
+		if v[i] < x {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality.
+func (v VectorTime) Equal(o VectorTime) bool {
+	for i, x := range o {
+		if v[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// UpdateList records the pages a node modified during one of its intervals.
+// It is the unit of write-notice exchange at acquires and barriers.
+type UpdateList struct {
+	Node     NodeID
+	Interval int32
+	Pages    []PageID
+}
+
+// WireBytes approximates the encoded size of the update list.
+func (u *UpdateList) WireBytes() int { return 16 + 4*len(u.Pages) }

@@ -1,0 +1,124 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event heap. Simulated activities
+// run either as plain callbacks (executed inline in the engine goroutine)
+// or as processes: goroutines that execute one at a time, hand-shaken with
+// the scheduler, so that a simulation with any number of processes is fully
+// deterministic for a given seed.
+//
+// All times are virtual nanoseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Engine is a deterministic discrete-event scheduler. Create one with New,
+// add processes with Spawn and callbacks with At, then call Run.
+//
+// Engine is not safe for concurrent use from arbitrary goroutines: all
+// interaction must happen either from process context (inside a function
+// started by Spawn) or from engine context (inside an At callback).
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	live    int // spawned, not yet finished processes
+	yield   chan struct{}
+	current *Proc
+	blocked map[*Proc]struct{}
+
+	stopped bool
+}
+
+type event struct {
+	t   int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from process or engine context.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run in engine context after delay nanoseconds.
+// A negative delay is treated as zero.
+func (e *Engine) At(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are discarded.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until none remain or Stop is called. It returns a
+// DeadlockError if processes are still blocked when the event heap drains.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		ev.fn()
+	}
+	if e.stopped {
+		return nil
+	}
+	if e.live > 0 {
+		return e.deadlock()
+	}
+	return nil
+}
+
+// DeadlockError reports processes that were still blocked when the event
+// heap drained.
+type DeadlockError struct {
+	Time  int64
+	Procs []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%dns, %d blocked: %v", d.Time, len(d.Procs), d.Procs)
+}
+
+func (e *Engine) deadlock() error {
+	var names []string
+	for p := range e.blocked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return &DeadlockError{Time: e.now, Procs: names}
+}

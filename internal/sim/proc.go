@@ -1,0 +1,142 @@
+package sim
+
+import "errors"
+
+// ErrKilled is the panic value used to unwind a killed process. Process
+// bodies must not recover it; the engine's wrapper does.
+var ErrKilled = errors.New("sim: process killed")
+
+// Proc is a simulated process: a goroutine that runs in lock-step with the
+// engine. At most one process executes at a time, so process code needs no
+// data-race protection for state it shares with other processes — only
+// logical critical sections (Mutex) for state invariants that must span
+// blocking calls.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+
+	sleeps  uint64 // generation counter for wake tokens
+	waiting bool
+	killed  bool
+	done    bool
+}
+
+// Spawn starts fn as a new process. The process begins running at the
+// current virtual time, after already-scheduled events at this time.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			e.live--
+			if r := recover(); r != nil && r != errKilledSentinel {
+				// Re-panic in engine context so the failure surfaces with
+				// the simulation stack rather than being swallowed.
+				e.yield <- struct{}{}
+				panic(r)
+			}
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.At(0, func() { e.dispatch(p) })
+	return p
+}
+
+var errKilledSentinel = ErrKilled
+
+// dispatch hands control to p and blocks the engine until p parks again.
+func (e *Engine) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}
+
+// park returns control to the engine until the process is resumed.
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilledSentinel)
+	}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() int64 { return p.eng.now }
+
+// Killed reports whether Kill has been called on this process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// prepareSleep arms the process for a sleep and returns the wake token that
+// a waker must present to wakeIf.
+func (p *Proc) prepareSleep() uint64 {
+	p.sleeps++
+	p.waiting = true
+	p.eng.block(p)
+	return p.sleeps
+}
+
+// doSleep parks until some waker calls wakeIf with the current token.
+func (p *Proc) doSleep() {
+	p.park()
+}
+
+// wakeIf resumes the process if it is still in the sleep identified by gen.
+// It is a no-op for stale tokens, so multiple wake sources (a value arriving
+// and a timeout) can race harmlessly. Must be called from engine or process
+// context.
+func (p *Proc) wakeIf(gen uint64) {
+	if !p.waiting || p.sleeps != gen || p.done {
+		return
+	}
+	p.waiting = false
+	p.eng.unblock(p)
+	p.eng.At(0, func() { p.eng.dispatch(p) })
+}
+
+// Advance moves the process's virtual time forward by d nanoseconds,
+// yielding to other activity in the meantime. A non-positive d still yields
+// once, which makes Advance(0) a cooperative scheduling point.
+func (p *Proc) Advance(d int64) {
+	gen := p.prepareSleep()
+	p.eng.At(d, func() { p.wakeIf(gen) })
+	p.doSleep()
+}
+
+// Kill marks the process as killed and, if it is blocked, wakes it so the
+// kill takes effect. The process unwinds via panic(ErrKilled), running its
+// deferred functions. Killing a finished process is a no-op.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p.waiting {
+		p.wakeIf(p.sleeps)
+	}
+}
+
+func (e *Engine) block(p *Proc) {
+	if e.blocked == nil {
+		e.blocked = make(map[*Proc]struct{})
+	}
+	e.blocked[p] = struct{}{}
+}
+
+func (e *Engine) unblock(p *Proc) {
+	delete(e.blocked, p)
+}

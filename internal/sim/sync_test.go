@@ -1,0 +1,152 @@
+package sim
+
+import "testing"
+
+func TestGateWaitTimeoutTimesOut(t *testing.T) {
+	e := New(1)
+	var g Gate
+	var woken bool
+	var at int64
+	e.Spawn("w", func(p *Proc) {
+		woken = g.WaitTimeout(p, 500)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken {
+		t.Fatal("reported woken without a Broadcast")
+	}
+	if at != 500 {
+		t.Fatalf("timed out at %d, want 500", at)
+	}
+	if g.Waiting() != 0 {
+		t.Fatal("stale waiter entry left after timeout")
+	}
+}
+
+func TestGateWaitTimeoutWoken(t *testing.T) {
+	e := New(1)
+	var g Gate
+	var woken bool
+	e.Spawn("w", func(p *Proc) {
+		woken = g.WaitTimeout(p, 10_000)
+	})
+	e.At(100, func() { g.Broadcast() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("broadcast not reported as wake")
+	}
+}
+
+func TestGateBroadcastAfterTimeoutHarmless(t *testing.T) {
+	e := New(1)
+	var g Gate
+	rounds := 0
+	e.Spawn("w", func(p *Proc) {
+		g.WaitTimeout(p, 100) // times out
+		rounds++
+		g.WaitTimeout(p, 10_000) // woken by the late broadcast
+		rounds++
+	})
+	e.At(5_000, func() { g.Broadcast() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	e := New(1)
+	var m Mutex
+	e.Spawn("a", func(p *Proc) {
+		if !m.TryLock(p) {
+			t.Error("TryLock on free mutex failed")
+		}
+		p.Advance(100)
+		m.Unlock()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Advance(10)
+		if m.TryLock(p) {
+			t.Error("TryLock on held mutex succeeded")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexUnlockUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var m Mutex
+	m.Unlock()
+}
+
+func TestFutureDoubleResolvePanics(t *testing.T) {
+	e := New(1)
+	f := e.NewFuture()
+	f.Resolve(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double resolve")
+		}
+	}()
+	f.Resolve(2)
+}
+
+func TestEngineRandDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 16; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("engine RNG not seed-deterministic")
+		}
+	}
+}
+
+func TestAtNegativeDelayClamped(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.At(-100, func() {
+		ran = true
+		if e.Now() != 0 {
+			t.Errorf("negative delay ran at t=%d", e.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("callback never ran")
+	}
+}
+
+func TestSemaphoreAvailable(t *testing.T) {
+	s := NewSemaphore(3)
+	if s.Available() != 3 {
+		t.Fatalf("Available = %d", s.Available())
+	}
+	e := New(1)
+	e.Spawn("p", func(p *Proc) {
+		s.Acquire(p)
+		s.Acquire(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Available() != 1 {
+		t.Fatalf("Available after 2 acquires = %d", s.Available())
+	}
+	s.Release()
+	if s.Available() != 2 {
+		t.Fatalf("Available after release = %d", s.Available())
+	}
+}

@@ -1,0 +1,31 @@
+package svm
+
+import (
+	"testing"
+
+	"ftsvm/internal/model"
+)
+
+func TestBarrierLatency(t *testing.T) {
+	cfg := model.Default()
+	cfg.Nodes = 8
+	type st struct {
+		I int
+		A bool
+	}
+	opt := Options{Config: cfg, Mode: ModeBase, Pages: 8, Locks: 1, Body: func(th *Thread) {
+		s := &st{}
+		th.Setup(s)
+		for ; s.I < 20; s.I++ {
+			th.Barrier()
+		}
+	}}
+	cl, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("20 empty barriers took %.2f ms (%.2f ms each)", float64(cl.ExecTime())/1e6, float64(cl.ExecTime())/20e6)
+}

@@ -1,0 +1,169 @@
+package svm
+
+import "ftsvm/internal/proto"
+
+// Barrier performs a global barrier over all compute threads: each node's
+// last-arriving thread performs the node's release operation (committing
+// and propagating the interval — the full two-phase pipeline with
+// checkpointing in the extended protocol), sends the node's arrival to the
+// barrier master, and all threads wait for the master's release broadcast,
+// which carries the merged vector time and write notices.
+//
+// As with any global barrier, every thread must execute the same number
+// of Barrier calls over its lifetime; a thread that stops arriving while
+// others still wait would deadlock the episode. Threads that finish their
+// body are excluded from subsequent episodes automatically.
+func (t *Thread) Barrier() {
+	t.safePoint()
+	t.inBarrier = true
+	defer func() { t.inBarrier = false }()
+
+	n := t.node
+	epoch := t.barSeq + 1
+	if int64(n.barEpoch) >= epoch {
+		// A replayed thread re-executing a barrier the cluster already
+		// completed: fall through (its node performed the release then).
+		t.barSeq = epoch
+		return
+	}
+	n.barCount[epoch]++
+	if n.barCount[epoch] == n.liveThreads() && n.barSentEpoch < epoch {
+		t.performRelease(nil)
+		t.sendArrival(epoch)
+	}
+
+	for int64(n.barEpoch) < epoch {
+		if rel := n.barRelease; rel != nil && int64(rel.Epoch) == epoch {
+			// First waiter to see the release applies it for the node.
+			n.barRelease = nil
+			t.applyNotices(rel.Lists, rel.VT)
+			n.barEpoch = int(epoch)
+			delete(n.barCount, epoch)
+			n.barGate.Broadcast()
+			break
+		}
+		t0 := t.beginWait()
+		woken := n.barGate.WaitTimeout(t.proc, 4*t.cl.cfg.HeartbeatTimeoutNs)
+		t.endWait(CompBarrier, t0)
+		if !woken {
+			t.probeCluster()
+		}
+		if t.cl.rec.pending && !t.inRecovery {
+			t.participateRecovery()
+			// Recovery may have wiped in-flight arrivals; the node's
+			// arrival is resent by whichever waiter notices first.
+			if n.barSentEpoch < epoch && int64(n.barEpoch) < epoch &&
+				n.barCount[epoch] >= n.liveThreads() {
+				t.sendArrival(epoch)
+			}
+		}
+	}
+	t.barSeq = epoch
+}
+
+// liveThreads returns the number of unfinished live threads currently on
+// the node (it grows when failed threads migrate here).
+func (n *node) liveThreads() int {
+	c := 0
+	for _, s := range n.threads {
+		if !s.dead && !s.finished {
+			c++
+		}
+	}
+	return c
+}
+
+// sendArrival ships the node's barrier arrival — its vector time and the
+// update lists it has not yet shipped at a barrier — to the master.
+func (t *Thread) sendArrival(epoch int64) {
+	n := t.node
+	lists := append([]proto.UpdateList(nil), n.intervals[n.barSentIntervals:]...)
+	n.barSentIntervals = len(n.intervals)
+	n.barSentEpoch = epoch
+	a := &barArrive{Epoch: int(epoch), Node: n.id, VT: n.vt.Clone(), Lists: lists}
+	master := t.cl.masterNode()
+	if master == n.id {
+		n.masterArrive(a)
+		t.charge(CompBarrier, t.cl.cfg.ProtoOpNs)
+		return
+	}
+	t.charge(CompBarrier, t.cl.cfg.NICPostOverheadNs)
+	t0 := t.beginWait()
+	n.ep.Post(t.proc, master, a.wireBytes(), a)
+	t.endWait(CompBarrier, t0)
+}
+
+// masterNode returns the barrier master: the lowest-numbered node still in
+// the cluster. (A failed-but-undetected master stalls arrivals until the
+// timeout probe triggers recovery, which excludes it.)
+func (cl *Cluster) masterNode() int {
+	for i, n := range cl.nodes {
+		if !n.excluded {
+			return i
+		}
+	}
+	panic("svm: no live nodes")
+}
+
+// masterArrive records a node's arrival; when every live node has arrived
+// the master merges and broadcasts the release. Runs in engine or process
+// context, never blocks.
+func (n *node) masterArrive(a *barArrive) {
+	if a.Epoch <= n.masterDone {
+		return // stale resend for an already-released episode
+	}
+	byNode := n.masterArrivals[a.Epoch]
+	if byNode == nil {
+		byNode = make(map[int]*barArrive)
+		n.masterArrivals[a.Epoch] = byNode
+	}
+	byNode[a.Node] = a
+	for _, nd := range n.cl.nodes {
+		if !nd.excluded && byNode[nd.id] == nil {
+			return // still waiting for a member's arrival
+		}
+	}
+	// Merge and release, in node order: ranging over the map would vary
+	// the broadcast's list order between runs (harmless semantically —
+	// applying update lists is commutative — but cross-run determinism of
+	// the full event stream is part of the simulator's contract).
+	vt := proto.NewVector(len(n.cl.nodes))
+	var lists []proto.UpdateList
+	for _, nd := range n.cl.nodes {
+		if arr := byNode[nd.id]; arr != nil {
+			vt.Merge(arr.VT)
+			lists = append(lists, arr.Lists...)
+		}
+	}
+	rel := &barRelease{Epoch: a.Epoch, VT: vt, Lists: lists}
+	n.masterDone = a.Epoch
+	n.cl.stats.BarrierEpisodes++
+	delete(n.masterArrivals, a.Epoch)
+	for _, nd := range n.cl.nodes {
+		if nd.excluded || nd.id == n.id {
+			continue
+		}
+		n.ep.PostSystem(nd.id, rel.wireBytes(), rel)
+	}
+	n.deliverBarRelease(rel)
+}
+
+// deliverBarRelease lands a barrier release on this node.
+func (n *node) deliverBarRelease(rel *barRelease) {
+	if int64(rel.Epoch) <= int64(n.barEpoch) {
+		return
+	}
+	n.barRelease = rel
+	n.barGate.Broadcast()
+}
+
+// probeCluster checks every node's liveness; a dead node found outside a
+// communication error (e.g. while waiting at a barrier) is reported to the
+// failure machinery. This is the heartbeat of §4.1.
+func (t *Thread) probeCluster() {
+	for i, nd := range t.cl.nodes {
+		if !nd.excluded && !t.cl.net.Alive(i) {
+			t.cl.reportFailure(i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package svm
+
+import "fmt"
+
+// Component is one bucket of the execution-time breakdown. The buckets
+// match the paper's §5.2 decomposition; Figures 7/9 fold the protocol
+// buckets into the synchronization type under which they were incurred,
+// Figures 8/10 report them separately.
+type Component int
+
+const (
+	// CompCompute is application execution time, including local memory
+	// stalls (modeled per-access costs and explicit Compute charges).
+	CompCompute Component = iota
+	// CompDataWait is time spent in page-fault handling: fetching pages
+	// from homes, local fetches from committed copies, twin creation, and
+	// stalls on locked pages.
+	CompDataWait
+	// CompLock is wait time between issuing a lock request and acquiring
+	// the lock.
+	CompLock
+	// CompBarrier is inter- and intra-node wait time at barriers.
+	CompBarrier
+	// CompDiff is diff computation and propagation time (both phases in
+	// the extended protocol), including post-queue stalls for diff bursts.
+	CompDiff
+	// CompCheckpoint is thread-state capture and propagation time,
+	// including sibling suspension (extended protocol only).
+	CompCheckpoint
+	// CompProtocol is the remaining protocol processing: interval commits,
+	// write-notice exchange, invalidations, timestamp saves, recovery.
+	CompProtocol
+
+	numComponents
+)
+
+var componentNames = [numComponents]string{
+	"compute", "data", "lock", "barrier", "diff", "checkpoint", "protocol",
+}
+
+func (c Component) String() string {
+	if c < 0 || c >= numComponents {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Components lists all breakdown components in display order.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Breakdown accumulates per-component virtual time for one thread. The
+// atBarrier slice records the share of diff/checkpoint/protocol time that
+// was incurred during barrier episodes, so the 4-component format can fold
+// protocol work into the right synchronization bucket.
+type Breakdown struct {
+	Comp      [numComponents]int64
+	AtBarrier [numComponents]int64
+}
+
+// Total returns the sum over all components.
+func (b *Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b.Comp {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i := range b.Comp {
+		b.Comp[i] += o.Comp[i]
+		b.AtBarrier[i] += o.AtBarrier[i]
+	}
+}
+
+// Scale divides every bucket by n (for averaging across threads).
+func (b *Breakdown) Scale(n int64) {
+	if n == 0 {
+		return
+	}
+	for i := range b.Comp {
+		b.Comp[i] /= n
+		b.AtBarrier[i] /= n
+	}
+}
+
+// FourWay folds the breakdown into the paper's Figure 7/9 format:
+// compute, data wait, lock, barrier. Protocol work (diffs, checkpoints,
+// protocol processing) performed at a lock release counts toward lock
+// time; work performed during barriers counts toward barrier time.
+func (b *Breakdown) FourWay() (compute, data, lock, barrier int64) {
+	compute = b.Comp[CompCompute]
+	data = b.Comp[CompDataWait]
+	lock = b.Comp[CompLock]
+	barrier = b.Comp[CompBarrier]
+	for _, c := range []Component{CompDiff, CompCheckpoint, CompProtocol} {
+		atB := b.AtBarrier[c]
+		lock += b.Comp[c] - atB
+		barrier += atB
+	}
+	return
+}
+
+// SixWay folds the breakdown into the paper's Figure 8/10 format:
+// compute, data wait, synchronization, diffs, protocol, checkpointing.
+func (b *Breakdown) SixWay() (compute, data, sync, diffs, protocol, ckpt int64) {
+	return b.Comp[CompCompute],
+		b.Comp[CompDataWait],
+		b.Comp[CompLock] + b.Comp[CompBarrier],
+		b.Comp[CompDiff],
+		b.Comp[CompProtocol],
+		b.Comp[CompCheckpoint]
+}

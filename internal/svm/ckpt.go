@@ -1,0 +1,110 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsvm/internal/checkpoint"
+	"ftsvm/internal/vmmc"
+)
+
+// suspendSiblings models point A's sibling suspension (§4.4: updates of
+// all threads within a node must appear atomic, so every sibling's state
+// is captured when the releasing thread commits the interval). The paper
+// suspends threads preemptively through the OS — a few microseconds each —
+// and copies their stacks in place. In the cooperative simulation a
+// sibling's resumable state struct is consistent at any scheduling point,
+// so the capture itself is instantaneous and only the suspend/resume cost
+// is charged.
+func (t *Thread) suspendSiblings() {
+	if c := t.liveSiblings(); c > 0 {
+		t.charge(CompCheckpoint, int64(c)*t.cl.cfg.ThreadSuspendNs)
+	}
+}
+
+// resumeSiblings is the counterpart of suspendSiblings; the resume cost is
+// folded into the suspend charge.
+func (t *Thread) resumeSiblings() {}
+
+func (t *Thread) liveSiblings() int {
+	c := 0
+	for _, s := range t.node.threads {
+		if s != t && !s.dead && !s.finished {
+			c++
+		}
+	}
+	return c
+}
+
+// checkpointSiblings saves the state of every other live thread on the
+// node to the backup node (checkpoint point A). The releasing thread pays
+// the serialization and transmission cost.
+func (t *Thread) checkpointSiblings() {
+	for _, s := range t.node.threads {
+		if s == t || s.dead || s.finished {
+			continue
+		}
+		if s.locksHeld > 0 {
+			// The sibling is inside a critical section. Its words since
+			// acquiring are deferred from this interval (splitDeferred),
+			// so a point-A snapshot here could pair a progress field
+			// advanced just before its Release with words that will never
+			// commit (roll-forward would then skip the lost update). Its
+			// last point-B checkpoint is the one consistent with what is
+			// actually committed; keep that.
+			continue
+		}
+		t.saveThreadState(s)
+	}
+	t.cl.trace("ckpt.A", t.node.id, t.id, t.node.releaseSeq+1)
+}
+
+// checkpointSelf saves the releasing thread's own state (checkpoint point
+// B, taken when phase 1 completes: the release is then conceptually done).
+func (t *Thread) checkpointSelf() {
+	t.saveThreadState(t)
+}
+
+// encodeSnapshot serializes the thread's registered resumable state. The
+// snapshot is empty (nil Blob) if the thread never called Setup.
+func (s *Thread) encodeSnapshot() (checkpoint.Snapshot, int) {
+	if s.state == nil {
+		return checkpoint.Snapshot{}, 0
+	}
+	blob, err := checkpoint.Encode(s.state)
+	if err != nil {
+		panic(fmt.Sprintf("svm: checkpoint thread %d: %v", s.id, err))
+	}
+	s.ckptSeq++
+	return checkpoint.Snapshot{Seq: s.ckptSeq, VT: s.node.vt.Clone(), BarSeq: s.barSeq, Blob: blob}, len(blob)
+}
+
+// saveThreadState serializes a thread's registered state and deposits it
+// in the backup node's double-buffered store.
+func (t *Thread) saveThreadState(s *Thread) {
+	cfg := t.cl.cfg
+	snap, sz := s.encodeSnapshot()
+	if snap.Blob == nil {
+		return // thread never registered resumable state
+	}
+	t.cl.ckptCount++
+	t.charge(CompCheckpoint, cfg.CheckpointNs(sz))
+	for {
+		backup := t.cl.backupOf(t.node.id)
+		m := &ckptMsg{ThreadID: s.id, HomeNode: t.node.id, Snap: snap}
+		t.charge(CompCheckpoint, cfg.NICPostOverheadNs)
+		t0 := t.beginWait()
+		t.node.ep.Post(t.proc, backup, m.wireBytes(), m)
+		err := t.node.ep.Fence(t.proc)
+		t.endWait(CompCheckpoint, t0)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, vmmc.ErrNodeDead) {
+			// The backup died; recover and resend to the new backup.
+			t.joinRecovery()
+			continue
+		}
+		panic(fmt.Sprintf("svm: checkpoint deposit: %v", err))
+	}
+}

@@ -1,0 +1,103 @@
+// Package svm implements the shared virtual memory runtime this
+// repository reproduces: GeNIMA, a home-based lazy-release-consistency
+// (HLRC) protocol for SMP clusters (ModeBase), and the paper's
+// fault-tolerant extension (ModeFT) that dynamically replicates all
+// application shared data and protocol state so single fail-stop node
+// failures are survived without stable storage.
+//
+// The runtime executes on the deterministic discrete-event cluster in
+// internal/sim + internal/vmmc: protocol actions move real bytes (pages,
+// twins, diffs, checkpoints) while every action advances virtual time
+// according to internal/model, and each thread's time is attributed to
+// the paper's execution-time breakdown components.
+//
+// # Protocol walkthrough
+//
+// The runtime implements two shared-virtual-memory protocols over the
+// simulated cluster, selected by Options.Mode.
+//
+// # ModeBase: GeNIMA (home-based lazy release consistency)
+//
+// Every shared page has one home node whose working copy is
+// authoritative. Application threads read and write through the Thread
+// API; the software page table raises faults:
+//
+//   - read fault (page invalid): fetch the page from its home, waiting
+//     until the home's copy carries every update the faulting node was
+//     notified of (per-page version vectors), plus the node's own last
+//     committed interval for the page — its own diffs propagate
+//     asynchronously and must not be lost by a re-fetch;
+//   - write fault (page read-only): snapshot the page into a twin and
+//     record it in the node's current interval.
+//
+// At a lock release the node ends its interval: it captures word-level
+// diffs of every dirty page against the twins, appends the update list,
+// hands the lock over, and eagerly posts the diffs to the pages' homes
+// (no diffs for its own home pages — the working copy already has the
+// updates). At an acquire, the incoming lock timestamp tells the acquirer
+// which intervals it has not performed; it fetches those update lists
+// from their origins and invalidates the named pages. Barriers do the
+// same all-to-all through a master node. Two multiple-writer subtleties:
+// concurrent writers of one page merge through disjoint word diffs, and a
+// page invalidated while locally dirty stashes its twin/working pair so
+// the next access can merge the local modifications over the fetched
+// copy.
+//
+// # ModeFT: the paper's fault-tolerant extension
+//
+// Each page gets a second home: the primary home keeps a committed copy
+// (what fetches read), the secondary a tentative copy. A release becomes
+// the pipeline described in the README: commit + page-lock, sibling
+// checkpoints (point A; siblings inside a critical section are skipped
+// and their words deferred to their own release, keeping SMP replay
+// exactly-once), phase-1 diffs (with undo pre-images) to the
+// tentative copies, one atomic backup deposit (vector time + update list
+// + self-secondary diff stash + the releaser's point-B checkpoint), lock
+// handover, phase-2 diffs to the committed copies, unlock. If a recovery
+// episode completes mid-pipeline, the releaser re-runs both phases
+// against the post-recovery homes. The invariant
+// bought by this ordering: at every instant, for every interval, either
+// no copy outside the releaser has it (roll back, undoing tentative
+// partials with the pre-images) or the tentative copies and the backup
+// record have all of it (roll forward). Locks use the stateless
+// centralized polling algorithm with the vector and release timestamp
+// replicated at two homes (Options.LockAlgo selects the queue-lock
+// baseline or the NIC test-and-set variant instead).
+//
+// # Failure handling
+//
+// Failures are fail-stop (Cluster.KillNode): the node's NIC dies with its
+// queued messages; packets already on the wire still land. Detection is
+// by communication error or by liveness probes after heartbeat timeouts
+// in every long wait (barrier, lock spin, fetch). The first detection
+// opens a recovery episode; every live thread lands in the recovery
+// barrier (all in-flight releases by live nodes first run to completion
+// or retry after re-homing), and the last arriver coordinates §4.5:
+// fetch the dead node's backup record; reconcile every page's replicas
+// (roll its interrupted release forward or backward); re-home pages and
+// locks with the survivors and rebuild the missing replicas; reconstruct
+// lock state from the live holders; globally synchronize write notices
+// (including the dead node's replicated lists); and respawn the dead
+// node's threads on its backup node from their checkpoints. Barrier
+// bookkeeping is rebuilt from scratch against the new membership.
+//
+// # Simulation contract
+//
+// Protocol code runs in process context (thread goroutines, one at a
+// time, deterministic); message handlers run in engine context and never
+// block — replies that must wait (version-pending fetches) are parked on
+// the page and served when the missing diff arrives. Cost accounting
+// accumulates into per-thread Breakdown buckets; CPU charges batch into a
+// time debt flushed at scheduling points, so one shared-memory access
+// does not cost one simulator event. Three rules keep the cooperative
+// model sound, learned the hard way (regression-tested):
+//
+//  1. mutate-then-charge: a page validated by writable()/readable() must
+//     be mutated before any cost is charged, because charging may yield
+//     and a sibling's commit can downgrade the page during the yield;
+//  2. check-act atomicity: writeFault's twin clone and state transition
+//     happen with no yield after the state check, or a concurrent fault
+//     re-clones the twin over a sibling's writes;
+//  3. capture-before-park: helpers that block on another thread's future
+//     must capture it before the flush inside beginWait yields.
+package svm

@@ -1,0 +1,276 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsvm/internal/mem"
+	"ftsvm/internal/proto"
+	"ftsvm/internal/vmmc"
+)
+
+// readFault brings an invalid page into the node's working copy. It
+// resolves where the valid copy lives (primary home's committed copy in
+// the extended protocol, the home's working copy in the base protocol),
+// waits until that copy carries every update this node must observe, and
+// merges any uncommitted local writes the page held when it was
+// invalidated (false sharing). Attributed to data-wait time.
+func (t *Thread) readFault(pg *page) {
+	if fut := pg.fetching; fut != nil {
+		// Another local thread is already fetching this page; wait for it
+		// and let the caller re-check the page state. (Capture the future
+		// first: the flush inside beginWait yields, and the owner may
+		// finish and clear pg.fetching before we park.)
+		t0 := t.beginWait()
+		t.proc.Await(fut)
+		t.endWait(CompDataWait, t0)
+		return
+	}
+	fut := t.cl.eng.NewFuture()
+	pg.fetching = fut
+	t.cl.stats.ReadFaults++
+	needRecovery := false
+	func() {
+		// The dedupe future must resolve before this thread can park in
+		// the recovery barrier, or the waiters could never arrive there.
+		defer func() {
+			pg.fetching = nil
+			fut.Resolve(nil)
+		}()
+		cfg := t.cl.cfg
+		t.charge(CompDataWait, cfg.PageFaultTrapNs)
+		for pg.state == pInvalid {
+			prim := t.cl.pageHomes.Primary(pg.id)
+			if t.cl.opt.Mode == ModeFT && prim == t.node.id {
+				if t.localFetch(pg) {
+					needRecovery = true
+					return
+				}
+				continue
+			}
+			if prim == t.node.id {
+				// Base protocol: the home's working copy is authoritative
+				// (diffs land in it directly), but the home must wait
+				// until every diff it was notified of has arrived.
+				pg.ensureWorking(cfg.PageSize)
+				for !pg.baseVer.Covers(pg.reqVer) {
+					t0 := t.beginWait()
+					pg.verGate.WaitTimeout(t.proc, 4*cfg.HeartbeatTimeoutNs)
+					t.endWait(CompDataWait, t0)
+				}
+				pg.homeStale = false
+				if pg.twin != nil {
+					pg.state = pWritable
+				} else {
+					pg.state = pReadOnly
+				}
+				break
+			}
+			if t.remoteFetch(pg, prim) {
+				needRecovery = true
+				return
+			}
+		}
+	}()
+	if needRecovery {
+		t.joinRecovery()
+	}
+}
+
+// localFetch is the extended protocol's home-page fault path: the primary
+// home copies its own committed copy into the working copy, waiting first
+// for any in-flight diffs the required version demands. Returns true if
+// the thread must join recovery before retrying.
+func (t *Thread) localFetch(pg *page) (needRecovery bool) {
+	cfg := t.cl.cfg
+	need := pg.fetchNeed(t.node.id)
+	for !pg.commitVer.Covers(need) {
+		t0 := t.beginWait()
+		pg.verGate.WaitTimeout(t.proc, 4*cfg.HeartbeatTimeoutNs)
+		t.endWait(CompDataWait, t0)
+		if t.cl.rec.pending && !t.inRecovery {
+			return true // home assignment may change; caller re-resolves
+		}
+	}
+	buf := pg.ensureWorking(cfg.PageSize)
+	copy(buf, pg.committed)
+	t.cl.stats.LocalFetches++
+	t.charge(CompDataWait, cfg.CopyNs(cfg.PageSize))
+	t.finishFetch(pg, pg.commitVer.Clone())
+	return false
+}
+
+// remoteFetch requests the page from its (primary) home and installs the
+// reply. Returns true if the home died (or recovery interrupted the wait)
+// and the thread must join recovery before retrying against the new home.
+func (t *Thread) remoteFetch(pg *page, home int) (needRecovery bool) {
+	cfg := t.cl.cfg
+	req := &fetchReq{Page: pg.id, Need: pg.fetchNeed(t.node.id)}
+	t0 := t.beginWait()
+	v, err := t.node.ep.RequestAbort(t.proc, home, req.wireBytes(), req,
+		func() bool { return t.cl.rec.pending })
+	t.endWait(CompDataWait, t0)
+	if err != nil {
+		if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {
+			return true
+		}
+		panic(fmt.Sprintf("svm: fetch page %d: %v", pg.id, err))
+	}
+	rep := v.(*fetchReply)
+	if !rep.Ver.Covers(pg.fetchNeed(t.node.id)) {
+		// The page was invalidated again while the fetch was in flight;
+		// retry with the stronger requirement.
+		return false
+	}
+	pg.working = rep.Data
+	if len(pg.working) != cfg.PageSize {
+		panic("svm: fetch reply size mismatch")
+	}
+	t.cl.stats.RemoteFetches++
+	t.finishFetch(pg, rep.Ver)
+	return false
+}
+
+// finishFetch installs a fetched copy: if the page held uncommitted local
+// writes when it was invalidated, replay the local diff over the fetched
+// copy and keep the page dirty (the multiple-writer merge); otherwise the
+// page becomes read-only.
+func (t *Thread) finishFetch(pg *page, ver proto.VectorTime) {
+	cfg := t.cl.cfg
+	if pg.dirtyWorking != nil {
+		localDiff := mem.Diff{Page: pg.id, Runs: mem.Compute(pg.dirtyTwin, pg.dirtyWorking, cfg.WordSize)}
+		t.charge(CompDataWait, cfg.DiffNs(cfg.PageSize))
+		// New twin = fetched copy (pre-merge), so the next commit diffs out
+		// exactly the local modifications.
+		pg.twin = append([]byte(nil), pg.working...)
+		localDiff.Apply(pg.working)
+		pg.dirtyWorking, pg.dirtyTwin = nil, nil
+		pg.state = pWritable
+		// Re-list the page: the dirty-list entry that accompanied the
+		// stashed writes may already have been consumed by a commit
+		// (duplicates are deduplicated there).
+		t.node.dirty = append(t.node.dirty, pg.id)
+		return
+	}
+	pg.state = pReadOnly
+}
+
+// writeFault promotes a read-only page to writable: stall while the page
+// is locked by an outstanding release (extended protocol, §4.2), then
+// create the twin and record the page in the current interval.
+func (t *Thread) writeFault(pg *page) {
+	cfg := t.cl.cfg
+	for pg.locked {
+		t0 := t.beginWait()
+		pg.lockGate.WaitTimeout(t.proc, 4*t.cl.cfg.HeartbeatTimeoutNs)
+		t.endWait(CompDataWait, t0)
+		if t.cl.rec.pending && !t.inRecovery {
+			t.joinRecovery()
+		}
+	}
+	t.safePoint()
+	if pg.state != pReadOnly {
+		return // state changed while stalled; caller re-evaluates
+	}
+	// Check, clone, and transition without an intervening yield: a sibling
+	// completing the same fault during a yield would have its writes
+	// captured into a re-cloned twin and silently excluded from the diff.
+	pg.twin = append([]byte(nil), pg.working...)
+	pg.state = pWritable
+	t.node.dirty = append(t.node.dirty, pg.id)
+	t.cl.stats.WriteFaults++
+	t.charge(CompDataWait, cfg.PageFaultTrapNs)
+	t.charge(CompDataWait, cfg.CopyNs(cfg.PageSize))
+}
+
+// invalidate processes one write notice on this node: page pid was
+// modified by node src in interval itv. Runs at acquires, barriers, and
+// recovery, in process context, charging protocol time to the thread.
+func (t *Thread) invalidate(pid int, src int, itv int32) {
+	n := t.node
+	if src == n.id {
+		return
+	}
+	pg := n.pt.pages[pid]
+	if pg.reqVer[src] < itv {
+		pg.reqVer[src] = itv
+	}
+	t.cl.stats.Invalidations++
+	t.charge(CompProtocol, t.cl.cfg.ProtoOpNs)
+	if t.cl.opt.Mode == ModeBase && t.cl.pageHomes.Primary(pid) == n.id {
+		// Base protocol: the home's working copy receives remote diffs
+		// directly, so there is nothing to fetch — but the home must
+		// still stall its own next access until every diff it was
+		// notified of has arrived, or a lock-ordered read-modify-write
+		// at the home races with in-flight diffs (the home's local
+		// update would be overwritten by an older diff). Mark the page
+		// stale, keeping working (and a possible twin) in place; the
+		// fault path waits on the version instead of fetching.
+		if pg.baseVer == nil || !pg.baseVer.Covers(pg.reqVer) {
+			// A dirty home page keeps its twin: remote diffs patch both
+			// working and twin, so local modifications survive the wait.
+			pg.homeStale = true
+			pg.state = pInvalid
+		}
+		return
+	}
+	switch pg.state {
+	case pWritable:
+		// False sharing: stash the uncommitted local writes; the next
+		// access fetches the home copy and merges them back.
+		pg.dirtyTwin = pg.twin
+		pg.dirtyWorking = pg.working
+		pg.twin = nil
+		pg.working = nil
+		pg.state = pInvalid
+	case pReadOnly:
+		pg.state = pInvalid
+	}
+}
+
+// applyNotices processes a batch of update lists, skipping intervals this
+// node has already performed, and merges the accompanying vector time.
+func (t *Thread) applyNotices(lists []proto.UpdateList, vt proto.VectorTime) {
+	n := t.node
+	for _, ul := range lists {
+		if ul.Node == n.id || ul.Interval <= n.vt[ul.Node] {
+			continue
+		}
+		for _, pid := range ul.Pages {
+			t.invalidate(pid, ul.Node, ul.Interval)
+		}
+	}
+	if vt != nil {
+		n.vt.Merge(vt)
+	}
+}
+
+// fetchUpdates pulls the update lists this node is missing relative to
+// target from their origin nodes (the acquire-side write-notice fetch of
+// §3.2) and applies them. Dead origins are recovered from the failure
+// machinery, which re-broadcasts the replicated lists.
+func (t *Thread) fetchUpdates(target proto.VectorTime) {
+	n := t.node
+	for src := range target {
+		if src == n.id || target[src] <= n.vt[src] {
+			continue
+		}
+		req := &updatesReq{From: n.vt[src] + 1, To: target[src]}
+		t0 := t.beginWait()
+		v, err := n.ep.RequestAbort(t.proc, src, 16, req, func() bool { return t.cl.rec.pending })
+		t.endWait(CompProtocol, t0)
+		if err != nil {
+			if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {
+				t.joinRecovery()
+				// Recovery merged the replicated lists; re-check remaining.
+				continue
+			}
+			panic(fmt.Sprintf("svm: fetch updates from %d: %v", src, err))
+		}
+		rep := v.(*updatesReply)
+		t.applyNotices(rep.Lists, nil)
+		if n.vt[src] < target[src] {
+			n.vt[src] = target[src]
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package svm
+
+import (
+	"fmt"
+
+	"ftsvm/internal/proto"
+	"ftsvm/internal/vmmc"
+)
+
+// handle is the node's message handler. It runs in engine context (the
+// simulated network interface applies incoming data without involving the
+// node's processors) and never blocks: replies that must wait for a page
+// version are deferred on the page's waiter list.
+func (n *node) handle(d *vmmc.Delivery) {
+	if n.dead {
+		return
+	}
+	switch m := d.Payload.(type) {
+	case *diffMsg:
+		n.applyDiffMsg(m)
+	case *diffBatch:
+		for _, it := range m.Items {
+			n.applyDiffMsg(it)
+		}
+	case *fetchReq:
+		n.handleFetch(d, m)
+	case *updatesReq:
+		lists := n.intervalRange(m.From, m.To)
+		rep := &updatesReply{Lists: lists}
+		d.Reply(rep, updatesWire(lists))
+	case *saveTSMsg:
+		n.storeSavedTS(m)
+	case *ckptMsg:
+		n.ckpts.Put(m.ThreadID, m.Snap)
+		n.ckptHome[m.ThreadID] = m.HomeNode
+	case *lockSet, *lockClear, *lockRelease, *qlAcquire, *qlForward, *qlGrant:
+		n.applyLockMsg(d.Src, m)
+	case *nicTestSet:
+		rep := n.nicTestAndSet(m)
+		d.Reply(rep, rep.wireBytes())
+	case *lockRead:
+		lh := n.lockHomesState[m.Lock]
+		if lh == nil {
+			// Not (yet) the home — can happen transiently around
+			// rehoming; answer with an empty vector so the acquirer
+			// retries.
+			n.initLockHome(m.Lock)
+			lh = n.lockHomesState[m.Lock]
+		}
+		rep := lh.readReply()
+		d.Reply(rep, rep.wireBytes())
+	case *barArrive:
+		n.masterArrive(m)
+	case *barRelease:
+		n.deliverBarRelease(m)
+	case *savedReq:
+		rep := n.savedReplyFor(m.Dead)
+		d.Reply(rep, rep.wireBytes())
+	case *lockRebuild:
+		n.installLock(m)
+	default:
+		panic(fmt.Sprintf("svm: node %d: unknown message %T", n.id, d.Payload))
+	}
+}
+
+// applyDiffMsg lands a diff at a home copy.
+func (n *node) applyDiffMsg(m *diffMsg) {
+	pg := n.pt.pages[m.Page]
+	cfg := n.cl.cfg
+	switch m.Phase {
+	case 0: // base protocol: the working copy is the home copy
+		buf := pg.ensureWorking(cfg.PageSize)
+		m.Diff.Apply(buf)
+		// Keep concurrently-diffed local copies coherent so the home's own
+		// diffs contain only its own modifications.
+		if pg.twin != nil {
+			m.Diff.Apply(pg.twin)
+		}
+		if pg.dirtyWorking != nil {
+			m.Diff.Apply(pg.dirtyWorking)
+			m.Diff.Apply(pg.dirtyTwin)
+		}
+		if pg.baseVer == nil {
+			pg.baseVer = proto.NewVector(cfg.Nodes)
+		}
+		if pg.baseVer[m.Src] < m.Interval {
+			pg.baseVer[m.Src] = m.Interval
+		}
+		pg.serveWaiters(pg.baseVer, buf, cfg.PageSize+64)
+	case 1: // tentative copy at the secondary home
+		if pg.tentative == nil {
+			pg.tentative = make([]byte, cfg.PageSize)
+			pg.tentVer = proto.NewVector(cfg.Nodes)
+		}
+		if m.Undo != nil {
+			if pg.undoFrom == nil {
+				pg.undoFrom = make(map[int]undoRec)
+			}
+			pg.undoFrom[m.Src] = undoRec{interval: m.Interval, undo: m.Undo}
+		}
+		pg.applyDiff(pg.tentative, pg.tentVer, m.Src, m.Interval, m.Diff)
+	case 2: // committed copy at the primary home
+		if pg.committed == nil {
+			pg.committed = make([]byte, cfg.PageSize)
+			pg.commitVer = proto.NewVector(cfg.Nodes)
+		}
+		pg.applyDiff(pg.committed, pg.commitVer, m.Src, m.Interval, m.Diff)
+		pg.serveWaiters(pg.commitVer, pg.committed, cfg.PageSize+64)
+	}
+	pg.verGate.Broadcast()
+}
+
+// handleFetch serves (or defers) a remote page fetch.
+func (n *node) handleFetch(d *vmmc.Delivery, m *fetchReq) {
+	pg := n.pt.pages[m.Page]
+	cfg := n.cl.cfg
+	var buf []byte
+	var ver proto.VectorTime
+	if n.cl.opt.Mode == ModeFT {
+		if pg.committed == nil {
+			// Newly promoted home whose replica has not arrived yet:
+			// defer until recovery installs it.
+			pg.committed = make([]byte, cfg.PageSize)
+			pg.commitVer = proto.NewVector(cfg.Nodes)
+		}
+		buf, ver = pg.committed, pg.commitVer
+	} else {
+		buf, ver = pg.ensureWorking(cfg.PageSize), pg.baseVer
+		if ver == nil {
+			pg.baseVer = proto.NewVector(cfg.Nodes)
+			ver = pg.baseVer
+		}
+	}
+	if ver.Covers(m.Need) {
+		data := make([]byte, len(buf))
+		copy(data, buf)
+		rep := &fetchReply{Page: m.Page, Data: data, Ver: ver.Clone()}
+		d.Reply(rep, rep.wireBytes())
+		return
+	}
+	pg.waiters = append(pg.waiters, fetchWaiter{d: d, need: m.Need})
+}
+
+// intervalRange returns clones of this node's update lists for intervals
+// [from, to], clamped to what exists.
+func (n *node) intervalRange(from, to int32) []proto.UpdateList {
+	if from < 1 {
+		from = 1
+	}
+	if to > int32(len(n.intervals)) {
+		to = int32(len(n.intervals))
+	}
+	var out []proto.UpdateList
+	for i := from; i <= to; i++ {
+		out = append(out, n.intervals[i-1])
+	}
+	return out
+}
+
+// storeSavedTS replicates a peer's end-of-phase-1 state: the timestamp,
+// the interval's update list, the self-secondary diff stash, and the
+// releasing thread's point-B checkpoint — one atomic deposit.
+func (n *node) storeSavedTS(m *saveTSMsg) {
+	n.savedTS[m.Node] = m.TS.Clone()
+	lists := n.savedLists[m.Node]
+	if len(lists) == 0 || lists[len(lists)-1].Interval < m.List.Interval {
+		n.savedLists[m.Node] = append(lists, m.List)
+	}
+	// Only the latest interval's stash matters: older intervals' phase 2
+	// completed (their release finished before the next began).
+	n.savedStash[m.Node] = m.Stash
+	if m.Snap.Blob != nil {
+		n.ckpts.Put(m.CkptThread, m.Snap)
+		n.ckptHome[m.CkptThread] = m.CkptHome
+	}
+}
+
+// savedReplyFor packages the backup state held for a dead node.
+func (n *node) savedReplyFor(dead int) *savedReply {
+	ts, ok := n.savedTS[dead]
+	if !ok {
+		return &savedReply{Have: false, TS: proto.NewVector(n.cl.cfg.Nodes)}
+	}
+	return &savedReply{Have: true, TS: ts.Clone(), Lists: n.savedLists[dead]}
+}
+
+// installLock lands a recovery-time lock rebuild.
+func (n *node) installLock(m *lockRebuild) {
+	n.initLockHome(m.Lock)
+	lh := n.lockHomesState[m.Lock]
+	for i := range lh.vec {
+		lh.vec[i] = false
+	}
+	for _, h := range m.Holders {
+		lh.vec[h] = true
+	}
+	lh.vt = m.VT.Clone()
+}

@@ -1,0 +1,377 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsvm/internal/proto"
+	"ftsvm/internal/vmmc"
+)
+
+// Acquire obtains application lock l with acquire consistency: after it
+// returns, every shared write that precedes the acquire in the lazy
+// release consistency partial order has been made visible (the
+// corresponding pages invalidated). Lock exchange between threads on the
+// same node needs no messages.
+func (t *Thread) Acquire(l int) {
+	t.safePoint()
+	n := t.node
+	ol := n.lockState(l)
+	for {
+		if ol.held && ol.holder == nil {
+			// Intra-SMP handoff: the node owns the lock and no thread is
+			// inside the critical section.
+			ol.holder = t
+			t.locksHeld++
+			t.cl.stats.IntraNodeHandoffs++
+			return
+		}
+		if ol.held || ol.busy {
+			// Another local thread holds it or is acquiring it remotely.
+			ol.localWaiters++
+			t0 := t.beginWait()
+			ol.gate.WaitTimeout(t.proc, 4*t.cl.cfg.HeartbeatTimeoutNs)
+			t.endWait(CompLock, t0)
+			ol.localWaiters--
+			t.safePoint()
+			continue
+		}
+		break
+	}
+	ol.busy = true
+	var vt proto.VectorTime
+	switch t.cl.opt.LockAlgo {
+	case LockPolling:
+		vt = t.pollingAcquire(l)
+	case LockQueue:
+		vt = t.queueAcquire(l)
+	case LockNIC:
+		vt = t.nicAcquire(l)
+	}
+	ol.busy = false
+	ol.held = true
+	ol.holder = t
+	t.locksHeld++
+	t.cl.stats.RemoteAcquires++
+	// Acquire-side consistency: fetch the missing write notices and
+	// invalidate (the releaser's timestamp travels with the lock).
+	if vt != nil && !t.node.vt.Covers(vt) {
+		t.fetchUpdates(vt)
+	}
+}
+
+// Release releases lock l, performing the release operation of the
+// protocol in use (interval commit and diff propagation; in the extended
+// protocol the full two-phase pipeline with checkpointing). The lock
+// becomes available to the next requester at the protocol's visibility
+// point.
+func (t *Thread) Release(l int) {
+	t.safePoint()
+	ol := t.node.lockState(l)
+	if !ol.held || ol.holder != t {
+		panic(fmt.Sprintf("svm: thread %d releases lock %d it does not hold", t.id, l))
+	}
+	t.performRelease(func() { t.handOver(l, ol) })
+	t.locksHeld--
+}
+
+// handOver passes the lock on: to a waiting local thread for free, to a
+// forwarded remote requester (queue lock), or back to the lock home(s)
+// (polling lock).
+func (t *Thread) handOver(l int, ol *ownedLock) {
+	n := t.node
+	ol.holder = nil
+	if t.cl.opt.LockAlgo == LockQueue {
+		ol.releaseVT = n.vt.Clone()
+	}
+	switch {
+	case t.cl.opt.LockAlgo == LockQueue && ol.pendingGrant >= 0:
+		// A remote requester was forwarded to us; grant directly.
+		dst := ol.pendingGrant
+		ol.pendingGrant = -1
+		ol.held = false
+		g := &qlGrant{Lock: l, VT: n.vt.Clone()}
+		t.charge(CompLock, t.cl.cfg.NICPostOverheadNs)
+		n.ep.PostSystem(dst, g.wireBytes(), g)
+		ol.gate.Broadcast() // local waiters must re-contend remotely
+	case ol.localWaiters > 0:
+		// Intra-SMP exchange: keep node ownership, wake a local waiter.
+		ol.gate.Broadcast()
+	case t.cl.opt.LockAlgo == LockPolling || t.cl.opt.LockAlgo == LockNIC:
+		// Return the lock: clear our element and store our timestamp at
+		// the home(s), atomically per home.
+		ol.held = false
+		rel := &lockRelease{Lock: l, Node: n.id, VT: n.vt.Clone()}
+		t.postLockMsg(t.cl.lockHomes.Primary(l), rel, rel.wireBytes())
+		if t.cl.opt.Mode == ModeFT {
+			t.postLockMsg(t.cl.lockHomes.Secondary(l), rel, rel.wireBytes())
+		}
+	default:
+		// Queue lock, uncontended: the lock stays cached on this node;
+		// the home still records us as tail and forwards future requests.
+	}
+}
+
+// lockState returns (creating on demand) the node's acquirer-side state
+// for lock l.
+func (n *node) lockState(l int) *ownedLock {
+	ol := n.owned[l]
+	if ol == nil {
+		ol = &ownedLock{pendingGrant: -1}
+		n.owned[l] = ol
+	}
+	return ol
+}
+
+// postLockMsg sends a lock-protocol deposit, applying it locally when this
+// node is the home.
+func (t *Thread) postLockMsg(dst int, payload any, size int) {
+	n := t.node
+	if dst == n.id {
+		n.applyLockMsg(n.id, payload)
+		t.charge(CompLock, t.cl.cfg.ProtoOpNs)
+		return
+	}
+	t.charge(CompLock, t.cl.cfg.NICPostOverheadNs)
+	t0 := t.beginWait()
+	n.ep.Post(t.proc, dst, size, payload)
+	t.endWait(CompLock, t0)
+}
+
+// pollingAcquire runs the paper's centralized polling algorithm (§4.3):
+// remote-write our element into the lock vector at the home(s), read the
+// whole vector from the primary home, and if any other element is set,
+// clear ours, back off, and retry.
+func (t *Thread) pollingAcquire(l int) proto.VectorTime {
+	n := t.node
+	cfg := t.cl.cfg
+	ft := t.cl.opt.Mode == ModeFT
+	spinStart := t.proc.Now()
+	for {
+		t.safePoint()
+		// Heartbeat (§4.1): a holder that died leaves its element set
+		// forever; after spinning past the timeout, probe liveness so the
+		// failure is detected even though the lock home itself is healthy.
+		if ft && t.proc.Now()-spinStart > 4*cfg.HeartbeatTimeoutNs {
+			t.probeCluster()
+			spinStart = t.proc.Now()
+		}
+		prim := t.cl.lockHomes.Primary(l)
+		set := &lockSet{Lock: l, Node: n.id}
+		t.postLockMsg(prim, set, 12)
+		if ft {
+			t.postLockMsg(t.cl.lockHomes.Secondary(l), set, 12)
+		}
+
+		rep, err := t.lockReadVector(l, prim)
+		if err != nil {
+			t.joinRecovery()
+			continue
+		}
+		sole := len(rep.Holders) == 1 && rep.Holders[0] == n.id
+		if sole {
+			return rep.VT
+		}
+		// Contended: clear our element and back off.
+		clr := &lockClear{Lock: l, Node: n.id}
+		t.postLockMsg(prim, clr, 12)
+		if ft {
+			t.postLockMsg(t.cl.lockHomes.Secondary(l), clr, 12)
+		}
+		backoff := cfg.LockBackoffMinNs
+		if span := cfg.LockBackoffMaxNs - cfg.LockBackoffMinNs; span > 0 {
+			backoff += t.cl.eng.Rand().Int63n(span)
+		}
+		t0 := t.beginWait()
+		t.proc.Advance(backoff)
+		t.endWait(CompLock, t0)
+	}
+}
+
+// lockReadVector fetches the lock vector and stored timestamp from the
+// primary home.
+func (t *Thread) lockReadVector(l, prim int) (*lockReadReply, error) {
+	n := t.node
+	if prim == n.id {
+		lh := n.lockHomesState[l]
+		t.charge(CompLock, t.cl.cfg.ProtoOpNs)
+		return lh.readReply(), nil
+	}
+	t0 := t.beginWait()
+	v, err := n.ep.RequestAbort(t.proc, prim, 8, &lockRead{Lock: l},
+		func() bool { return t.cl.rec.pending })
+	t.endWait(CompLock, t0)
+	if err != nil {
+		if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {
+			return nil, err
+		}
+		panic(fmt.Sprintf("svm: lock %d read: %v", l, err))
+	}
+	return v.(*lockReadReply), nil
+}
+
+func (lh *lockHome) readReply() *lockReadReply {
+	var holders []int
+	for i, set := range lh.vec {
+		if set {
+			holders = append(holders, i)
+		}
+	}
+	return &lockReadReply{Holders: holders, VT: lh.vt.Clone()}
+}
+
+// nicAcquire runs the NIC-assisted lock: one test-and-set round trip to
+// the primary home; on a grant under ModeFT the owner element is also
+// replicated at the secondary home. Contended attempts back off briefly
+// and retry.
+func (t *Thread) nicAcquire(l int) proto.VectorTime {
+	n := t.node
+	cfg := t.cl.cfg
+	ft := t.cl.opt.Mode == ModeFT
+	spinStart := t.proc.Now()
+	for {
+		t.safePoint()
+		if ft && t.proc.Now()-spinStart > 4*cfg.HeartbeatTimeoutNs {
+			t.probeCluster()
+			spinStart = t.proc.Now()
+		}
+		prim := t.cl.lockHomes.Primary(l)
+		var rep *nicTestSetReply
+		if prim == n.id {
+			rep = n.nicTestAndSet(&nicTestSet{Lock: l, Node: n.id})
+			t.charge(CompLock, t.cl.cfg.ProtoOpNs)
+		} else {
+			t0 := t.beginWait()
+			v, err := n.ep.RequestAbort(t.proc, prim, 12, &nicTestSet{Lock: l, Node: n.id},
+				func() bool { return t.cl.rec.pending })
+			t.endWait(CompLock, t0)
+			if err != nil {
+				if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {
+					t.joinRecovery()
+					continue
+				}
+				panic(fmt.Sprintf("svm: nic lock %d: %v", l, err))
+			}
+			rep = v.(*nicTestSetReply)
+		}
+		if rep.Granted {
+			if ft {
+				// Replicate the owner element at the secondary home.
+				t.postLockMsg(t.cl.lockHomes.Secondary(l), &lockSet{Lock: l, Node: n.id}, 12)
+			}
+			return rep.VT
+		}
+		backoff := cfg.LockBackoffMinNs / 2
+		if span := cfg.LockBackoffMaxNs/2 - backoff; span > 0 {
+			backoff += t.cl.eng.Rand().Int63n(span)
+		}
+		t0 := t.beginWait()
+		t.proc.Advance(backoff)
+		t.endWait(CompLock, t0)
+	}
+}
+
+// nicTestAndSet is the home-side atomic test-and-set. Runs in engine or
+// process context.
+func (n *node) nicTestAndSet(m *nicTestSet) *nicTestSetReply {
+	n.initLockHome(m.Lock)
+	lh := n.lockHomesState[m.Lock]
+	for _, set := range lh.vec {
+		if set {
+			return &nicTestSetReply{Granted: false, VT: nil}
+		}
+	}
+	lh.vec[m.Node] = true
+	return &nicTestSetReply{Granted: true, VT: lh.vt.Clone()}
+}
+
+// queueAcquire runs GeNIMA's distributed queuing lock: ask the home, which
+// either grants (lock at home) or forwards us to the current tail; the
+// grant arrives as a direct message from the previous holder.
+func (t *Thread) queueAcquire(l int) proto.VectorTime {
+	n := t.node
+	fut := t.cl.eng.NewFuture()
+	n.qlWait[l] = fut
+	home := t.cl.lockHomes.Primary(l)
+	req := &qlAcquire{Lock: l, Requester: n.id}
+	if home == n.id {
+		n.applyLockMsg(n.id, req)
+		t.charge(CompLock, t.cl.cfg.ProtoOpNs)
+	} else {
+		t.charge(CompLock, t.cl.cfg.NICPostOverheadNs)
+		t0 := t.beginWait()
+		n.ep.Post(t.proc, home, 12, req)
+		t.endWait(CompLock, t0)
+	}
+	t0 := t.beginWait()
+	v, err := t.proc.Await(fut)
+	t.endWait(CompLock, t0)
+	if err != nil {
+		panic(fmt.Sprintf("svm: queue lock %d: %v", l, err))
+	}
+	delete(n.qlWait, l)
+	return v.(*qlGrant).VT
+}
+
+// applyLockMsg is the home-side lock state machine, shared by the message
+// handler and the local fast path. Runs in engine or process context and
+// never blocks.
+func (n *node) applyLockMsg(src int, payload any) {
+	switch m := payload.(type) {
+	case *lockSet:
+		lh := n.lockHomesState[m.Lock]
+		if lh != nil {
+			lh.vec[m.Node] = true
+		}
+	case *lockClear:
+		lh := n.lockHomesState[m.Lock]
+		if lh != nil {
+			lh.vec[m.Node] = false
+		}
+	case *lockRelease:
+		lh := n.lockHomesState[m.Lock]
+		if lh != nil {
+			lh.vt.Merge(m.VT)
+			lh.vec[m.Node] = false
+		}
+	case *qlAcquire:
+		lh := n.lockHomesState[m.Lock]
+		if lh == nil {
+			return
+		}
+		if lh.tail < 0 {
+			// Free at home: grant with the home-stored timestamp.
+			lh.tail = m.Requester
+			g := &qlGrant{Lock: m.Lock, VT: lh.vt.Clone()}
+			n.sendOrDeliver(m.Requester, g, g.wireBytes())
+		} else {
+			old := lh.tail
+			lh.tail = m.Requester
+			f := &qlForward{Lock: m.Lock, Requester: m.Requester}
+			n.sendOrDeliver(old, f, 12)
+		}
+	case *qlForward:
+		ol := n.lockState(m.Lock)
+		if ol.held && ol.holder == nil && ol.localWaiters == 0 && !ol.busy {
+			// Cached and idle: grant immediately.
+			ol.held = false
+			g := &qlGrant{Lock: m.Lock, VT: ol.releaseVT.Clone()}
+			n.sendOrDeliver(m.Requester, g, g.wireBytes())
+		} else {
+			ol.pendingGrant = m.Requester
+		}
+	case *qlGrant:
+		if fut, ok := n.qlWait[m.Lock]; ok && !fut.Done() {
+			fut.Resolve(m)
+		}
+	}
+}
+
+// sendOrDeliver posts a system message, short-circuiting self-sends.
+func (n *node) sendOrDeliver(dst int, payload any, size int) {
+	if dst == n.id {
+		n.applyLockMsg(n.id, payload)
+		return
+	}
+	n.ep.PostSystem(dst, size, payload)
+}

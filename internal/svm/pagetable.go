@@ -1,0 +1,194 @@
+package svm
+
+import (
+	"ftsvm/internal/mem"
+	"ftsvm/internal/proto"
+	"ftsvm/internal/sim"
+	"ftsvm/internal/vmmc"
+)
+
+// pageState is the node-local access state of a shared page.
+type pageState uint8
+
+const (
+	// pInvalid: the local working copy is stale; access faults and fetches
+	// from the page's (primary) home.
+	pInvalid pageState = iota
+	// pReadOnly: the working copy is valid for reads; the first write
+	// creates a twin and starts recording the page in the current interval.
+	pReadOnly
+	// pWritable: the page is dirty in the current interval and has a twin.
+	pWritable
+)
+
+// undoRec is a stored pre-image for rolling back one interval's phase-1
+// update.
+type undoRec struct {
+	interval int32
+	undo     *mem.Diff
+}
+
+// fetchWaiter is a deferred reply to a remote fetch: the home's copy has
+// not yet reached the version the fault needs (its diffs are still in
+// flight), so the reply is held until the missing diffs are applied.
+type fetchWaiter struct {
+	d    *vmmc.Delivery
+	need proto.VectorTime
+}
+
+// page is one shared page as seen by one node: the working copy all local
+// threads read and write, plus the home-side copies this node maintains for
+// its home pages.
+type page struct {
+	id    int
+	state pageState
+
+	working []byte // local copy; nil until first touched
+	twin    []byte // pre-write snapshot while pWritable
+
+	// dirtyTwin preserves a dirty page's twin across an invalidation
+	// (false sharing: a concurrent remote writer updated the page while we
+	// hold uncommitted local writes). The next access fetches the home
+	// copy and replays our local diff over it.
+	dirtyTwin    []byte
+	dirtyWorking []byte
+
+	// reqVer is the version this node must observe on its next fetch,
+	// accumulated from write notices at acquires and barriers.
+	reqVer proto.VectorTime
+
+	// homeStale marks a base-mode home page whose notified remote diffs
+	// have not all arrived yet; the home's own next access waits.
+	homeStale bool
+
+	// writers tracks the local thread that last wrote each word since the
+	// twin was taken (extended-protocol SMP runs only; nil otherwise).
+	writers []int16
+
+	// lastLocalItv is the most recent local interval that committed
+	// updates to this page. A fetch must wait until the home has applied
+	// it, or a node that re-fetches a page loses its *own* in-flight
+	// updates (write notices never cover one's own intervals).
+	lastLocalItv int32
+
+	// Home-side state. In base mode the working copy doubles as the home
+	// copy and baseVer tracks its version. In FT mode the primary home
+	// keeps committed (+commitVer) and the secondary home keeps tentative
+	// (+tentVer); remote diffs are never applied to working copies.
+	baseVer   proto.VectorTime
+	committed []byte
+	commitVer proto.VectorTime
+	tentative []byte
+	tentVer   proto.VectorTime
+
+	// locked marks a page committed by an outstanding release (extended
+	// protocol): local faults stall until the release completes.
+	locked   bool
+	lockGate sim.Gate
+
+	// verGate is broadcast whenever a home copy's version advances, waking
+	// local fetches waiting for in-flight diffs.
+	verGate sim.Gate
+
+	// waiters are deferred remote fetch replies (home side).
+	waiters []fetchWaiter
+
+	// undoFrom holds, per source node, the pre-image of the latest
+	// phase-1 diff that arrived from a releaser that is also the page's
+	// primary home; recovery uses it to roll the tentative copy back when
+	// that releaser dies before saving its timestamp.
+	undoFrom map[int]undoRec
+
+	// fetching de-duplicates concurrent local faults on the same page.
+	fetching *sim.Future
+}
+
+// pageTable is a node's software page table, shared by all threads on the
+// node (SMP semantics: one address space per node).
+type pageTable struct {
+	node  *node
+	pages []*page
+}
+
+func newPageTable(n *node, npages, nnodes int) *pageTable {
+	pt := &pageTable{node: n, pages: make([]*page, npages)}
+	for i := range pt.pages {
+		pt.pages[i] = &page{
+			id:     i,
+			reqVer: proto.NewVector(nnodes),
+		}
+	}
+	return pt
+}
+
+// fetchNeed returns the version a fetch by node me must observe: the
+// accumulated write notices plus this node's own last committed interval
+// for the page.
+func (pg *page) fetchNeed(me int) proto.VectorTime {
+	need := pg.reqVer.Clone()
+	if need[me] < pg.lastLocalItv {
+		need[me] = pg.lastLocalItv
+	}
+	return need
+}
+
+// ensureWorking lazily allocates the working copy.
+func (pg *page) ensureWorking(size int) []byte {
+	if pg.working == nil {
+		pg.working = make([]byte, size)
+	}
+	return pg.working
+}
+
+// initHome sets up home-side storage for this node's home pages.
+func (pt *pageTable) initHome(pid int, role proto.Role, ft bool, size, nnodes int) {
+	pg := pt.pages[pid]
+	if !ft {
+		if pg.baseVer == nil {
+			pg.baseVer = proto.NewVector(nnodes)
+		}
+		// Base-mode home pages are always valid at their home.
+		pg.ensureWorking(size)
+		if pg.state == pInvalid {
+			pg.state = pReadOnly
+		}
+		return
+	}
+	switch role {
+	case proto.Primary:
+		if pg.committed == nil {
+			pg.committed = make([]byte, size)
+			pg.commitVer = proto.NewVector(nnodes)
+		}
+	case proto.Secondary:
+		if pg.tentative == nil {
+			pg.tentative = make([]byte, size)
+			pg.tentVer = proto.NewVector(nnodes)
+		}
+	}
+}
+
+// applyDiffToCopy applies a remote diff to one of the home copies and
+// advances that copy's version. It wakes any fetch waiter whose required
+// version is now covered. Runs in engine context (NI-applied, no host CPU).
+func (pg *page) applyDiff(copyBuf []byte, ver proto.VectorTime, src int, interval int32, d *mem.Diff) {
+	d.Apply(copyBuf)
+	if ver[src] < interval {
+		ver[src] = interval
+	}
+}
+
+// serveWaiters replies to deferred fetches now satisfied by ver over buf.
+func (pg *page) serveWaiters(ver proto.VectorTime, buf []byte, replySize int) {
+	kept := pg.waiters[:0]
+	for _, w := range pg.waiters {
+		if ver.Covers(w.need) {
+			data := make([]byte, len(buf))
+			copy(data, buf)
+			w.d.Reply(&fetchReply{Page: pg.id, Data: data, Ver: ver.Clone()}, replySize)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	pg.waiters = kept
+}

@@ -1,0 +1,267 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsvm/internal/proto"
+	"ftsvm/internal/sim"
+	"ftsvm/internal/vmmc"
+)
+
+// recoveryState coordinates the global recovery phase of §4.5. Recovery is
+// a cluster-wide barrier: every live thread must reach it (the paper's
+// precondition that no releases are pending when recovery starts), then
+// one thread — the coordinator — executes the recovery actions.
+type recoveryState struct {
+	pending bool
+	dead    int
+	epoch   int
+	arrived int
+	gate    sim.Gate
+	claimed bool // a coordinator has been chosen for this episode
+}
+
+// KillNode fail-stops a node at the current virtual time: its network
+// interface dies (queued messages lost, in-flight ones deliver) and its
+// threads stop at their next scheduling point, exactly like a crashed
+// machine whose packets on the wire still arrive.
+func (cl *Cluster) KillNode(id int) {
+	n := cl.nodes[id]
+	if n.dead {
+		return
+	}
+	cl.net.Kill(id)
+	n.dead = true
+	for _, t := range n.threads {
+		if !t.finished {
+			t.dead = true
+			t.proc.Kill()
+		}
+	}
+	cl.trace("kill", id, -1, 0)
+}
+
+// reportFailure is called when any thread detects that a node died (a
+// communication error or a liveness probe after a heartbeat timeout). The
+// first report opens a recovery episode; subsequent reports of the same
+// node are no-ops. A second, different failure while recovery is pending
+// is a simultaneous failure, which the protocol does not tolerate (§4.1).
+func (cl *Cluster) reportFailure(id int) {
+	n := cl.nodes[id]
+	if n.excluded {
+		return
+	}
+	rec := &cl.rec
+	if rec.pending {
+		if rec.dead != id {
+			panic(fmt.Sprintf("svm: simultaneous failures of nodes %d and %d are not tolerated", rec.dead, id))
+		}
+		return
+	}
+	if !n.dead {
+		return // false alarm
+	}
+	rec.pending = true
+	rec.dead = id
+	rec.arrived = 0
+	rec.claimed = false
+	cl.trace("recovery.start", id, -1, int64(rec.epoch))
+	cl.wakeForRecovery()
+}
+
+// wakeForRecovery broadcasts every gate a thread might be parked on so all
+// threads promptly observe the pending recovery. (In the real system this
+// is the failure notification broadcast.)
+func (cl *Cluster) wakeForRecovery() {
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		n.barGate.Broadcast()
+		n.releaseGate.Broadcast()
+		for _, ol := range n.owned {
+			ol.gate.Broadcast()
+		}
+		for _, pg := range n.pt.pages {
+			if pg.locked {
+				pg.lockGate.Broadcast()
+			}
+			pg.verGate.Broadcast()
+		}
+	}
+}
+
+// liveThreadCount counts threads that must reach the recovery barrier.
+func (cl *Cluster) liveThreadCount() int {
+	c := 0
+	for _, t := range cl.threads {
+		if !t.dead && !t.finished {
+			c++
+		}
+	}
+	return c
+}
+
+// joinRecovery is the error-path entry to recovery: a communication
+// failure was observed but the failed node may not have been reported yet,
+// so probe liveness first, then enter the recovery barrier.
+func (t *Thread) joinRecovery() {
+	t.probeCluster()
+	t.participateRecovery()
+}
+
+// participateRecovery is the recovery barrier. Every live thread lands
+// here (from safe points, aborted waits, or communication errors); the
+// last arriver becomes the coordinator and performs the recovery actions
+// of §4.5, after which everyone resumes.
+func (t *Thread) participateRecovery() {
+	cl := t.cl
+	rec := &cl.rec
+	if !rec.pending || t.dead || t.inRecovery {
+		return
+	}
+	t.inRecovery = true
+	defer func() { t.inRecovery = false }()
+	epoch := rec.epoch
+	rec.arrived++
+	for rec.pending && rec.epoch == epoch {
+		if rec.arrived >= cl.liveThreadCount() && !rec.claimed {
+			rec.claimed = true
+			t.runRecovery()
+			return
+		}
+		t0 := t.beginWait()
+		rec.gate.WaitTimeout(t.proc, 4*cl.cfg.HeartbeatTimeoutNs)
+		t.endWait(CompProtocol, t0)
+	}
+}
+
+// noteThreadExit re-evaluates the recovery barrier when a thread finishes
+// its body while a recovery is pending (it will never arrive).
+func (cl *Cluster) noteThreadExit() {
+	if cl.rec.pending {
+		cl.rec.gate.Broadcast()
+	}
+	for _, n := range cl.nodes {
+		n.barGate.Broadcast()
+	}
+}
+
+// runRecovery executes the recovery actions on the coordinator thread:
+//
+//  1. retrieve the dead node's saved timestamp, update lists, and diff
+//     stash from its backup node;
+//  2. reconcile every page's two home replicas, rolling the dead node's
+//     interrupted release forward or backward according to the saved
+//     timestamp (§4.5.2);
+//  3. reassign homes for all pages and locks the dead node held, and
+//     rebuild the missing replicas from the surviving copies (§4.5.1);
+//  4. rebuild lock state at the new homes from the live holders, clearing
+//     the dead node's lock-vector entries;
+//  5. globally synchronize memory: distribute the update lists (including
+//     the dead node's replicated ones) so every node invalidates what it
+//     has not seen;
+//  6. resume the dead node's threads on the backup node from their last
+//     checkpoints (§4.5.3).
+func (t *Thread) runRecovery() {
+	cl := t.cl
+	rec := &cl.rec
+	dead := rec.dead
+	cfg := cl.cfg
+
+	saved := t.fetchSavedState(dead)
+	t.reconcilePages(dead, saved)
+	t.rehomeAndReplicate(dead)
+	t.rebuildLocks(dead)
+	t.globalSync(dead, saved)
+	migrated := t.migrateThreads(dead, saved)
+
+	// Reset barrier plumbing: in-flight arrivals may be stale (dead master
+	// or dead member); everything is resent against the new membership.
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		n.masterArrivals = make(map[int]map[int]*barArrive)
+		n.barSentEpoch = 0
+	}
+	// Nodes stuck one episode behind a completed one roll forward: the
+	// global sync above already delivered the consistency information.
+	maxDone := 0
+	for _, n := range cl.nodes {
+		if !n.dead && n.barEpoch > maxDone {
+			maxDone = n.barEpoch
+		}
+	}
+	for _, n := range cl.nodes {
+		if !n.dead && n.barEpoch < maxDone && n.barCount[int64(n.barEpoch+1)] > 0 {
+			n.barEpoch = maxDone
+			delete(n.barCount, int64(maxDone))
+		}
+	}
+
+	cl.nodes[dead].excluded = true
+	cl.stats.Recoveries++
+	t.charge(CompProtocol, int64(len(cl.nodes))*cfg.ProtoOpNs)
+
+	rec.pending = false
+	rec.epoch++
+	rec.arrived = 0
+	rec.claimed = false
+	rec.gate.Broadcast()
+	// Wake everything once more: fetch waits, barrier waits, and lock
+	// spins re-evaluate against the new configuration.
+	cl.wakeForRecovery()
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		for _, pg := range n.pt.pages {
+			if len(pg.waiters) > 0 && pg.committed != nil {
+				pg.serveWaiters(pg.commitVer, pg.committed, cfg.PageSize+64)
+			}
+		}
+	}
+	cl.trace("recovery.done", dead, t.id, int64(rec.epoch))
+	_ = migrated
+}
+
+// savedState is the dead node's replicated protocol state.
+type savedState struct {
+	ts    proto.VectorTime
+	lists []proto.UpdateList
+}
+
+// fetchSavedState retrieves the dead node's saved timestamp and lists from
+// its backup.
+func (t *Thread) fetchSavedState(dead int) *savedState {
+	cl := t.cl
+	backup := cl.backupOf(dead)
+	bn := cl.nodes[backup]
+	out := &savedState{ts: proto.NewVector(cl.cfg.Nodes)}
+	if backup == t.node.id {
+		if ts, ok := bn.savedTS[dead]; ok {
+			out.ts = ts.Clone()
+			out.lists = bn.savedLists[dead]
+		}
+		t.charge(CompProtocol, cl.cfg.ProtoOpNs)
+		return out
+	}
+	req := &savedReq{Dead: dead}
+	t0 := t.beginWait()
+	v, err := t.node.ep.Request(t.proc, backup, 8, req)
+	t.endWait(CompProtocol, t0)
+	if err != nil {
+		if errors.Is(err, vmmc.ErrNodeDead) {
+			panic("svm: backup node died during recovery (simultaneous failure)")
+		}
+		panic(fmt.Sprintf("svm: fetch saved state: %v", err))
+	}
+	rep := v.(*savedReply)
+	if rep.Have {
+		out.ts = rep.TS.Clone()
+		out.lists = rep.Lists
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package svm
+
+import (
+	"ftsvm/internal/checkpoint"
+	"ftsvm/internal/proto"
+)
+
+// reconcilePages restores the replica invariant for every page with
+// respect to the dead node's interrupted release (§4.5.2). The saved
+// timestamp designates the set of the dead node's updates whose phase 1
+// completed: those roll forward (tentative -> committed); anything beyond
+// rolls back (committed -> tentative). Pages whose surviving copy is the
+// only copy are handled by rehomeAndReplicate.
+func (t *Thread) reconcilePages(dead int, saved *savedState) {
+	cl := t.cl
+	cfg := cl.cfg
+	tsD := saved.ts[dead]
+	bytesMoved := 0
+	for p := 0; p < cl.pageHomes.Items(); p++ {
+		P := cl.pageHomes.Primary(p)
+		S := cl.pageHomes.Secondary(p)
+		if P == dead || S == dead {
+			continue // single surviving copy; no pairwise reconcile
+		}
+		pgP := cl.nodes[P].pt.pages[p]
+		pgS := cl.nodes[S].pt.pages[p]
+		if pgP.committed == nil && pgS.tentative == nil {
+			continue
+		}
+		ensureHomeCopies(cl, pgP, pgS)
+		cv, dv := pgP.commitVer[dead], pgS.tentVer[dead]
+		if dv == cv {
+			// No interrupted release by the dead node touches this page.
+			// Mismatches in live nodes' entries are in-flight releases
+			// whose (live) owners will complete phase 2 themselves.
+			continue
+		}
+		if dv > cv && dv <= tsD {
+			// Roll forward: the dead node's phase 1 completed for this
+			// interval; promote the tentative copy. Live in-flight
+			// phase-1 partials promoted along with it are re-applied
+			// idempotently by their owners' phase 2.
+			copy(pgP.committed, pgS.tentative)
+			pgP.commitVer = pgS.tentVer.Clone()
+		} else if dv > cv {
+			// Roll back: undo exactly the dead node's tentative update
+			// using the pre-image that rode with the phase-1 diff.
+			if rec, ok := pgS.undoFrom[dead]; ok && rec.interval == dv {
+				rec.undo.Apply(pgS.tentative)
+			}
+			pgS.tentVer[dead] = cv
+		}
+		bytesMoved += cfg.PageSize
+	}
+	// Apply the dead node's stashed self-secondary diffs: updates whose
+	// only phase-1 replica died with the releaser but whose release is
+	// considered complete (<= saved timestamp) must reach the committed
+	// copies.
+	backup := cl.backupOf(dead)
+	for _, d := range cl.nodes[backup].savedStash[dead] {
+		P := cl.pageHomes.Primary(d.Page)
+		if P == dead {
+			continue // no committed copy survives; handled by replay
+		}
+		pg := cl.nodes[P].pt.pages[d.Page]
+		ensureCommitted(cl, pg)
+		if pg.commitVer[dead] < tsD {
+			d.Apply(pg.committed)
+			pg.commitVer[dead] = tsD
+			bytesMoved += d.DataBytes()
+		}
+	}
+	// The coordinator drives the copies; charge the pipelined transfer.
+	t.charge(CompProtocol, cfg.TransferNs(bytesMoved))
+	cl.trace("recovery.reconcile", dead, t.id, int64(bytesMoved))
+}
+
+func ensureHomeCopies(cl *Cluster, pgP, pgS *page) {
+	ensureCommitted(cl, pgP)
+	if pgS.tentative == nil {
+		pgS.tentative = make([]byte, cl.cfg.PageSize)
+		pgS.tentVer = proto.NewVector(cl.cfg.Nodes)
+	}
+}
+
+func ensureCommitted(cl *Cluster, pg *page) {
+	if pg.committed == nil {
+		pg.committed = make([]byte, cl.cfg.PageSize)
+		pg.commitVer = proto.NewVector(cl.cfg.Nodes)
+	}
+}
+
+// rehomeAndReplicate reassigns every home role the dead node held and
+// rebuilds the missing replicas from the surviving copies (§4.5.1). The
+// mapping guarantees the two replicas of each page stay on distinct live
+// nodes under any failure sequence.
+func (t *Thread) rehomeAndReplicate(dead int) {
+	cl := t.cl
+	cfg := cl.cfg
+	tsD := proto.VectorTime(nil)
+	if backup := cl.backupOf(dead); cl.nodes[backup].savedTS[dead] != nil {
+		tsD = cl.nodes[backup].savedTS[dead]
+	}
+	bytesMoved := 0
+	for _, r := range cl.pageHomes.Rehome(dead) {
+		pg := cl.nodes[r.NewNode].pt.pages[r.Item]
+		sv := cl.nodes[r.Survivor].pt.pages[r.Item]
+		switch r.Role {
+		case proto.Primary:
+			// Promotion in place: the old secondary becomes primary; its
+			// tentative copy is the authoritative state. An update beyond
+			// the dead node's saved timestamp belongs to a release whose
+			// phase 1 did not complete: roll it back using the stored
+			// pre-image (the committed copy that would normally provide
+			// the roll-back data died with the releaser).
+			if sv.tentative == nil {
+				sv.tentative = make([]byte, cfg.PageSize)
+				sv.tentVer = proto.NewVector(cfg.Nodes)
+			}
+			tsDead := int32(0)
+			if tsD != nil {
+				tsDead = tsD[dead]
+			}
+			if sv.tentVer[dead] > tsDead {
+				if rec, ok := sv.undoFrom[dead]; ok && rec.interval == sv.tentVer[dead] {
+					rec.undo.Apply(sv.tentative)
+				}
+				sv.tentVer[dead] = tsDead
+			}
+			ensureCommitted(cl, pg)
+			copy(pg.committed, sv.tentative)
+			pg.commitVer = sv.tentVer.Clone()
+			bytesMoved += cfg.PageSize
+		case proto.Secondary:
+			ensureCommitted(cl, sv)
+			if pg.tentative == nil {
+				pg.tentative = make([]byte, cfg.PageSize)
+			}
+			copy(pg.tentative, sv.committed)
+			pg.tentVer = sv.commitVer.Clone()
+			if r.NewNode != r.Survivor {
+				bytesMoved += cfg.PageSize
+			}
+		}
+	}
+	t.charge(CompProtocol, cfg.TransferNs(bytesMoved))
+	cl.trace("recovery.rehome", dead, t.id, int64(bytesMoved))
+}
+
+// rebuildLocks reassigns lock homes and reconstructs each lock's state at
+// the new homes: the vector is rebuilt from the live holders (clearing the
+// dead node's element — any lock it held is implicitly released, since its
+// threads replay from before the acquire), and the release timestamp is
+// taken from the surviving home replica.
+func (t *Thread) rebuildLocks(dead int) {
+	cl := t.cl
+	cfg := cl.cfg
+	nlocks := cl.lockHomes.Items()
+
+	// Surviving home state, captured before rehoming.
+	oldVT := make([]proto.VectorTime, nlocks)
+	for l := 0; l < nlocks; l++ {
+		vt := proto.NewVector(cfg.Nodes)
+		for _, home := range []int{cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)} {
+			if home == dead {
+				continue
+			}
+			if lh := cl.nodes[home].lockHomesState[l]; lh != nil {
+				vt.Merge(lh.vt)
+			}
+		}
+		oldVT[l] = vt
+	}
+	cl.lockHomes.Rehome(dead)
+
+	for l := 0; l < nlocks; l++ {
+		var holders []int
+		for _, n := range cl.nodes {
+			if n.dead {
+				continue
+			}
+			if ol := n.owned[l]; ol != nil && ol.held {
+				holders = append(holders, n.id)
+			}
+		}
+		for _, home := range []int{cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)} {
+			n := cl.nodes[home]
+			n.installLock(&lockRebuild{Lock: l, Holders: holders, VT: oldVT[l]})
+		}
+		t.charge(CompProtocol, cfg.ProtoOpNs)
+	}
+	cl.trace("recovery.locks", dead, t.id, int64(nlocks))
+}
+
+// globalSync makes memory globally consistent across the survivors:
+// every node learns every other node's committed intervals (including the
+// dead node's replicated ones, up to its saved timestamp) and invalidates
+// accordingly. This is the recovery-phase global synchronization point.
+func (t *Thread) globalSync(dead int, saved *savedState) {
+	cl := t.cl
+	cfg := cl.cfg
+
+	// Gather all lists any node might be missing.
+	var all []proto.UpdateList
+	minSeen := make(proto.VectorTime, cfg.Nodes)
+	for i := range minSeen {
+		minSeen[i] = int32(1 << 30)
+	}
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		for src := range n.vt {
+			if n.vt[src] < minSeen[src] {
+				minSeen[src] = n.vt[src]
+			}
+		}
+	}
+	bytes := 0
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		lists := n.intervalRange(minSeen[n.id]+1, int32(len(n.intervals)))
+		all = append(all, lists...)
+		bytes += updatesWire(lists)
+	}
+	// The dead node's lists, from its backup, clamped to the saved
+	// timestamp (anything beyond rolled back).
+	for _, ul := range saved.lists {
+		if ul.Interval <= saved.ts[dead] {
+			all = append(all, ul)
+		}
+	}
+	globalVT := proto.NewVector(cfg.Nodes)
+	for _, n := range cl.nodes {
+		if !n.dead {
+			globalVT.Merge(n.vt)
+		}
+	}
+	globalVT[dead] = saved.ts[dead]
+
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		for _, ul := range all {
+			if ul.Node == n.id || ul.Interval <= n.vt[ul.Node] {
+				continue
+			}
+			for _, pid := range ul.Pages {
+				n.invalidateRaw(pid, ul.Node, ul.Interval)
+			}
+		}
+		n.vt.Merge(globalVT)
+		// Clamp requirements on the dead node's cancelled intervals.
+		for _, pg := range n.pt.pages {
+			if pg.reqVer[dead] > saved.ts[dead] {
+				pg.reqVer[dead] = saved.ts[dead]
+			}
+		}
+	}
+	t.charge(CompProtocol, cfg.TransferNs(bytes)+int64(len(all))*cfg.ProtoOpNs)
+	cl.trace("recovery.sync", dead, t.id, int64(len(all)))
+}
+
+// invalidateRaw is the node-level invalidation used during recovery (no
+// per-thread charge; the coordinator accounts the work in bulk).
+func (n *node) invalidateRaw(pid, src int, itv int32) {
+	if src == n.id {
+		return
+	}
+	pg := n.pt.pages[pid]
+	if pg.reqVer[src] < itv {
+		pg.reqVer[src] = itv
+	}
+	switch pg.state {
+	case pWritable:
+		pg.dirtyTwin = pg.twin
+		pg.dirtyWorking = pg.working
+		pg.twin = nil
+		pg.working = nil
+		pg.state = pInvalid
+	case pReadOnly:
+		pg.state = pInvalid
+	}
+}
+
+// migrateThreads resumes the dead node's threads on the backup node from
+// their last checkpoints (§4.5.3). Threads that never checkpointed restart
+// from the beginning of their body (equivalent to a checkpoint at the
+// initial barrier). Returns the number of migrated threads.
+func (t *Thread) migrateThreads(dead int, saved *savedState) int {
+	cl := t.cl
+	backup := cl.backupOf(dead)
+	bn := cl.nodes[backup]
+	tsD := saved.ts[dead]
+	// A snapshot is usable only if the interval open when it was taken
+	// survived the roll decision: point-A snapshots ride with a release's
+	// commit, so one from a release that rolled back (timestamp never
+	// saved) describes thread progress whose memory effects were erased.
+	usable := func(s checkpoint.Snapshot) bool { return s.VT[dead] <= tsD }
+	count := 0
+	for _, old := range cl.threads {
+		if old.node.id != dead || old.finished {
+			continue
+		}
+		nt := &Thread{id: old.id, cl: cl, node: bn, migrated: true}
+		if snap, ok := bn.ckpts.LatestValid(old.id, usable); ok && bn.ckptHome[old.id] == dead {
+			nt.restoredBlob = snap.Blob
+			nt.ckptSeq = snap.Seq
+			nt.barSeq = snap.BarSeq
+			cl.trace("recovery.restore", backup, old.id, snap.Seq)
+			t.charge(CompProtocol, cl.cfg.CheckpointNs(len(snap.Blob)))
+		}
+		cl.threads[old.id] = nt
+		bn.threads = append(bn.threads, nt)
+		cl.spawnThread(nt)
+		cl.stats.MigratedThreads++
+		count++
+	}
+	cl.trace("recovery.migrate", dead, t.id, int64(count))
+	return count
+}

@@ -1,0 +1,563 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsvm/internal/mem"
+	"ftsvm/internal/proto"
+	"ftsvm/internal/vmmc"
+)
+
+// capturedDiff is one page's modifications captured at interval commit.
+// The extended protocol keeps captured diffs locally between the two
+// propagation phases so they are not recomputed (§5.2, Diffs).
+type capturedDiff struct {
+	pid  int
+	diff *mem.Diff
+	// undo is the pre-image of the diffed words, captured for pages whose
+	// primary home is the releasing node (see diffMsg.Undo).
+	undo *mem.Diff
+}
+
+// commitInterval ends the node's current time interval: it atomically
+// captures diffs for every page any local thread updated, transitions the
+// pages back to read-only (so subsequent writes open the next interval),
+// locks the pages in the extended protocol, appends the update list, and
+// advances the node's own vector entry. Returns 0 and nil if no updates
+// were made.
+func (t *Thread) commitInterval() (int32, []capturedDiff) {
+	n := t.node
+	cfg := t.cl.cfg
+	ft := t.cl.opt.Mode == ModeFT
+
+	var caps []capturedDiff
+	var pages []int
+	var retained []int // pages with deferred sibling words: stay dirty
+	diffBytes := 0
+	seen := make(map[int]bool, len(n.dirty))
+	for _, pid := range n.dirty {
+		if seen[pid] {
+			continue
+		}
+		seen[pid] = true
+		pg := n.pt.pages[pid]
+		var twin, cur []byte
+		stash := false
+		switch {
+		case pg.dirtyWorking != nil:
+			// Invalidated while dirty and not yet refetched: diff the
+			// stashed copies; the stash is then propagated and dropped
+			// (or retained, if sibling words are deferred).
+			twin, cur, stash = pg.dirtyTwin, pg.dirtyWorking, true
+		case pg.twin != nil:
+			// Writable, or a base-mode home page marked stale while dirty
+			// (its state is pInvalid but working and twin stayed live).
+			twin, cur = pg.twin, pg.working
+		default:
+			continue // already handled (duplicate entry or racing commit)
+		}
+		d := &mem.Diff{Page: pid, Runs: mem.Compute(twin, cur, cfg.WordSize)}
+		// SMP replay exactness: words last written by a sibling that is
+		// inside a critical section right now are NOT committed with this
+		// interval — they stay twinned and commit with that sibling's own
+		// release. Otherwise a roll-forward would apply the sibling's
+		// partial critical section and its replayed thread (checkpointed
+		// mid-CS at point A as a state struct, not a stack) would apply it
+		// again. Single-thread-per-node runs never defer.
+		deferred := t.splitDeferred(pg, d)
+		diffBytes += cfg.PageSize // diff creation scans the whole page
+		if deferred {
+			retained = append(retained, pid)
+		} else {
+			if stash {
+				pg.dirtyWorking, pg.dirtyTwin = nil, nil
+			} else {
+				pg.twin = nil
+				if pg.state == pWritable {
+					pg.state = pReadOnly
+				}
+			}
+			if pg.writers != nil {
+				for i := range pg.writers {
+					pg.writers[i] = -1
+				}
+			}
+		}
+		if d.Empty() {
+			continue
+		}
+		t.cl.stats.PagesDiffed++
+		if t.cl.pageHomes.Primary(pid) == n.id {
+			t.cl.stats.HomePagesDiffed++
+		}
+		pages = append(pages, pid)
+		if ft || t.cl.pageHomes.Primary(pid) != n.id {
+			cd := capturedDiff{pid: pid, diff: d}
+			if ft {
+				// Every phase-1 diff carries its pre-image: recovery must
+				// be able to undo exactly this node's tentative update
+				// (a whole-page restore from the committed copy would
+				// collaterally wipe other releasers' in-flight phase-1
+				// data, and for pages primary-homed here the committed
+				// copy dies with this node anyway).
+				cd.undo = preImage(d, twin)
+			}
+			caps = append(caps, cd)
+		}
+		if deferred {
+			// Fold the committed words into the retained twin (after the
+			// pre-image was taken) so the sibling's commit re-captures
+			// only its own deferred words.
+			for _, r := range d.Runs {
+				copy(twin[r.Off:r.Off+len(r.Data)], r.Data)
+			}
+		}
+		if ft {
+			pg.locked = true
+		}
+	}
+	n.dirty = append(n.dirty[:0], retained...)
+	if len(pages) == 0 {
+		return 0, nil
+	}
+
+	itv := int32(len(n.intervals)) + 1
+	n.intervals = append(n.intervals, proto.UpdateList{Node: n.id, Interval: itv, Pages: pages})
+	n.vt[n.id] = itv
+	t.cl.stats.Intervals++
+	for _, pid := range pages {
+		n.pt.pages[pid].lastLocalItv = itv
+	}
+
+	t.charge(CompDiff, cfg.DiffNs(diffBytes))
+	t.charge(CompProtocol, int64(len(pages))*cfg.ProtoOpNs)
+
+	if !ft {
+		// Base protocol: the home's working copy already holds local
+		// updates to home pages; expose their new version immediately.
+		for _, pid := range pages {
+			if t.cl.pageHomes.Primary(pid) == n.id {
+				pg := n.pt.pages[pid]
+				if pg.baseVer[n.id] < itv {
+					pg.baseVer[n.id] = itv
+				}
+				pg.serveWaiters(pg.baseVer, pg.ensureWorking(cfg.PageSize), cfg.PageSize+64)
+				pg.verGate.Broadcast()
+			}
+		}
+	}
+	return itv, caps
+}
+
+// performRelease runs the node-level release pipeline for the protocol
+// mode in use. afterVisible is invoked at the point the release becomes
+// visible to other nodes (base: right after commit, per GeNIMA's
+// release-then-propagate order; extended: after phase 1 + checkpoint B,
+// so a failure never exposes unsaved state); the caller hands the lock
+// over inside it.
+func (t *Thread) performRelease(afterVisible func()) {
+	n := t.node
+	serialize := t.cl.opt.Mode == ModeFT || t.cl.opt.SerialReleases
+	if serialize {
+		for n.releaseBusy {
+			t0 := t.beginWait()
+			n.releaseGate.WaitTimeout(t.proc, 4*t.cl.cfg.HeartbeatTimeoutNs)
+			t.endWait(CompProtocol, t0)
+			if t.cl.rec.pending && !t.inRecovery {
+				t.participateRecovery()
+			}
+		}
+		n.releaseBusy = true
+		defer func() {
+			n.releaseBusy = false
+			n.releaseGate.Broadcast()
+		}()
+	}
+	if t.cl.opt.Mode == ModeBase {
+		t.releaseBase(afterVisible)
+		return
+	}
+	t.releaseFT(afterVisible)
+}
+
+// releaseBase is GeNIMA's release: commit, hand over the lock, then
+// eagerly push diffs of non-home pages to their homes.
+func (t *Thread) releaseBase(afterVisible func()) {
+	n := t.node
+	itv, caps := t.commitInterval()
+	if afterVisible != nil {
+		afterVisible()
+	}
+	if itv == 0 {
+		n.releaseSeq++
+		return
+	}
+	cfg := t.cl.cfg
+	if t.cl.opt.AggregateDiffs {
+		batches := map[int]*diffBatch{}
+		for _, c := range caps {
+			home := t.cl.pageHomes.Primary(c.pid)
+			b := batches[home]
+			if b == nil {
+				b = &diffBatch{}
+				batches[home] = b
+			}
+			b.Items = append(b.Items, &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: 0, Diff: c.diff})
+		}
+		t.postBatches(batches)
+	} else {
+		for _, c := range caps {
+			home := t.cl.pageHomes.Primary(c.pid)
+			m := &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: 0, Diff: c.diff}
+			t.cl.stats.DiffMsgs++
+			t.cl.stats.DiffBytes += int64(m.wireBytes())
+			t.charge(CompDiff, cfg.NICPostOverheadNs)
+			t0 := t.beginWait()
+			n.ep.Post(t.proc, home, m.wireBytes(), m)
+			t.endWait(CompDiff, t0)
+		}
+	}
+	t0 := t.beginWait()
+	err := n.ep.Fence(t.proc)
+	t.endWait(CompDiff, t0)
+	if err != nil {
+		// The base protocol is the failure-free baseline; a node failure
+		// under it is fatal by design.
+		panic(fmt.Sprintf("svm: base protocol diff propagation failed: %v", err))
+	}
+	n.releaseSeq++
+	t.cl.trace("release.done", n.id, t.id, n.releaseSeq)
+}
+
+// releaseFT is the extended protocol's release (§4.2, Fig. 2): suspend and
+// checkpoint siblings at point A, commit and lock the updated pages,
+// propagate diffs to the tentative copies at the secondary homes (phase 1),
+// save the timestamp and update list at the backup node, checkpoint the
+// releasing thread (point B), make the release visible, then propagate the
+// same diffs to the committed copies at the primary homes (phase 2) and
+// unlock.
+func (t *Thread) releaseFT(afterVisible func()) {
+	n := t.node
+
+	t.suspendSiblings()
+	itv, caps := t.commitInterval()
+	t.cl.trace("release.commit", n.id, t.id, n.releaseSeq+1)
+	t.checkpointSiblings()
+	t.resumeSiblings()
+
+	// If a recovery episode completes while this release is in flight —
+	// possible whenever the thread parks between commit and the final
+	// phase (timestamp save, lock handover, post-queue waits) and the
+	// failed node is a bystander home, so no send of ours errors — the
+	// re-homing step rebuilt replicas from copies that may predate this
+	// interval's propagation. The owner of an in-flight release is
+	// responsible for its interval (§4.5): re-run the propagation against
+	// the post-recovery homes until no recovery intervenes. Re-applying a
+	// diff that already landed is idempotent (diffs carry absolute words).
+	epoch := t.cl.rec.epoch
+
+	if itv != 0 && t.cl.opt.UnsafeSinglePhase {
+		// Ablation: both copies updated concurrently under one fence —
+		// one round-trip cheaper, no roll-forward/roll-back guarantee.
+		t.propagateSinglePhase(caps, itv)
+		t.cl.trace("release.phase1", n.id, t.id, n.releaseSeq+1)
+		t.saveTimestamp(itv, caps)
+		t.cl.trace("release.savets", n.id, t.id, n.releaseSeq+1)
+		t.cl.trace("release.ckptB", n.id, t.id, n.releaseSeq+1)
+		if afterVisible != nil {
+			afterVisible()
+		}
+		for t.cl.rec.epoch != epoch {
+			epoch = t.cl.rec.epoch
+			t.propagateSinglePhase(caps, itv)
+		}
+		for _, c := range caps {
+			pg := n.pt.pages[c.pid]
+			pg.locked = false
+			pg.lockGate.Broadcast()
+		}
+		n.releaseSeq++
+		t.cl.trace("release.done", n.id, t.id, n.releaseSeq)
+		return
+	}
+	if itv != 0 {
+		t.propagatePhase(caps, itv, 1)
+		t.cl.trace("release.phase1", n.id, t.id, n.releaseSeq+1)
+		t.saveTimestamp(itv, caps)
+		t.cl.trace("release.savets", n.id, t.id, n.releaseSeq+1)
+	} else {
+		// No updates: no timestamp to arbitrate, but the thread still
+		// checkpoints at this release (point B).
+		t.checkpointSelf()
+	}
+	t.cl.trace("release.ckptB", n.id, t.id, n.releaseSeq+1)
+
+	if afterVisible != nil {
+		afterVisible()
+	}
+
+	if itv != 0 {
+		t.propagatePhase(caps, itv, 2)
+		for t.cl.rec.epoch != epoch {
+			// Recovery intervened since the pre-phase-1 snapshot: the
+			// current homes may hold replicas built without this interval.
+			epoch = t.cl.rec.epoch
+			t.propagatePhase(caps, itv, 1)
+			t.propagatePhase(caps, itv, 2)
+		}
+		t.cl.trace("release.phase2", n.id, t.id, n.releaseSeq+1)
+		for _, c := range caps {
+			pg := n.pt.pages[c.pid]
+			pg.locked = false
+			pg.lockGate.Broadcast()
+		}
+	}
+	n.releaseSeq++
+	t.cl.trace("release.done", n.id, t.id, n.releaseSeq)
+}
+
+// postBatches ships aggregated diff batches, one message per destination
+// home.
+func (t *Thread) postBatches(batches map[int]*diffBatch) {
+	n := t.node
+	cfg := t.cl.cfg
+	// Deterministic destination order.
+	for dst := 0; dst < cfg.Nodes; dst++ {
+		b := batches[dst]
+		if b == nil {
+			continue
+		}
+		t.cl.stats.DiffMsgs++
+		t.cl.stats.DiffBytes += int64(b.wireBytes())
+		t.charge(CompDiff, cfg.NICPostOverheadNs)
+		t0 := t.beginWait()
+		n.ep.Post(t.proc, dst, b.wireBytes(), b)
+		t.endWait(CompDiff, t0)
+	}
+}
+
+// preImage builds the undo diff: the same modified regions with the
+// twin's (pre-write) contents.
+func preImage(d *mem.Diff, twin []byte) *mem.Diff {
+	u := &mem.Diff{Page: d.Page, Runs: make([]mem.Run, len(d.Runs))}
+	for i, r := range d.Runs {
+		data := make([]byte, len(r.Data))
+		copy(data, twin[r.Off:r.Off+len(r.Data)])
+		u.Runs[i] = mem.Run{Off: r.Off, Data: data}
+	}
+	return u
+}
+
+// splitDeferred removes from d every word whose last local writer is a
+// sibling thread currently holding an application lock: those words
+// belong to an open critical section and must commit with the sibling's
+// own interval (see commitInterval). Writer marks of the words that stay
+// in d are cleared. Reports whether anything was deferred.
+func (t *Thread) splitDeferred(pg *page, d *mem.Diff) bool {
+	if !t.cl.trackWriters || pg.writers == nil || d.Empty() {
+		return false
+	}
+	ws := t.cl.cfg.WordSize
+	// A run may split into several kept runs, so build into a fresh slice
+	// (appending into d.Runs[:0] could overwrite runs not yet visited).
+	var kept []mem.Run
+	deferred := false
+	for _, r := range d.Runs {
+		start := -1
+		for i := 0; i <= len(r.Data); i += ws {
+			deferWord := false
+			if i < len(r.Data) {
+				if wt := pg.writers[(r.Off+i)/ws]; wt >= 0 && int(wt) != t.id {
+					sib := t.cl.threads[wt]
+					deferWord = sib != nil && sib.node == t.node && sib.locksHeld > 0
+				}
+			}
+			switch {
+			case i < len(r.Data) && !deferWord:
+				if start < 0 {
+					start = i
+				}
+				pg.writers[(r.Off+i)/ws] = -1
+			default:
+				if start >= 0 {
+					kept = append(kept, mem.Run{Off: r.Off + start, Data: r.Data[start:i]})
+					start = -1
+				}
+				if i < len(r.Data) {
+					deferred = true
+					t.cl.stats.DeferredWords++
+				}
+			}
+		}
+	}
+	d.Runs = kept
+	return deferred
+}
+
+// propagateSinglePhase ships every captured diff to both homes at once
+// (the UnsafeSinglePhase ablation): one fence instead of two ordered ones.
+func (t *Thread) propagateSinglePhase(caps []capturedDiff, itv int32) {
+	n := t.node
+	cfg := t.cl.cfg
+	for {
+		for _, c := range caps {
+			targets := [2]struct{ phase, dst int }{
+				{1, t.cl.pageHomes.Secondary(c.pid)},
+				{2, t.cl.pageHomes.Primary(c.pid)},
+			}
+			for _, tg := range targets {
+				phase, dst := tg.phase, tg.dst
+				if dst == n.id {
+					t.applyLocalDiff(c, itv, phase)
+					continue
+				}
+				m := &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: phase, Diff: c.diff}
+				if phase == 1 {
+					m.Undo = c.undo
+				}
+				t.cl.stats.DiffMsgs++
+				t.cl.stats.DiffBytes += int64(m.wireBytes())
+				t.charge(CompDiff, cfg.NICPostOverheadNs)
+				t0 := t.beginWait()
+				n.ep.Post(t.proc, dst, m.wireBytes(), m)
+				t.endWait(CompDiff, t0)
+			}
+		}
+		t0 := t.beginWait()
+		err := n.ep.Fence(t.proc)
+		t.endWait(CompDiff, t0)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, vmmc.ErrNodeDead) {
+			t.joinRecovery()
+			continue
+		}
+		panic(fmt.Sprintf("svm: single-phase propagation: %v", err))
+	}
+}
+
+// propagatePhase ships the captured diffs to the phase's home set
+// (1 = secondary/tentative, 2 = primary/committed). Diffs to this node's
+// own home copies are applied locally. If a destination home died, the
+// thread participates in recovery and retries against the re-homed
+// assignment; re-applying a diff that already arrived is idempotent.
+func (t *Thread) propagatePhase(caps []capturedDiff, itv int32, phase int) {
+	n := t.node
+	cfg := t.cl.cfg
+	for {
+		batches := map[int]*diffBatch{}
+		for _, c := range caps {
+			var dst int
+			if phase == 1 {
+				dst = t.cl.pageHomes.Secondary(c.pid)
+			} else {
+				dst = t.cl.pageHomes.Primary(c.pid)
+			}
+			if dst == n.id {
+				t.applyLocalDiff(c, itv, phase)
+				continue
+			}
+			m := &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: phase, Diff: c.diff}
+			if phase == 1 {
+				m.Undo = c.undo
+			}
+			if t.cl.opt.AggregateDiffs {
+				b := batches[dst]
+				if b == nil {
+					b = &diffBatch{}
+					batches[dst] = b
+				}
+				b.Items = append(b.Items, m)
+				continue
+			}
+			t.cl.stats.DiffMsgs++
+			t.cl.stats.DiffBytes += int64(m.wireBytes())
+			t.charge(CompDiff, cfg.NICPostOverheadNs)
+			t0 := t.beginWait()
+			n.ep.Post(t.proc, dst, m.wireBytes(), m)
+			t.endWait(CompDiff, t0)
+		}
+		if t.cl.opt.AggregateDiffs {
+			t.postBatches(batches)
+		}
+		t0 := t.beginWait()
+		err := n.ep.Fence(t.proc)
+		t.endWait(CompDiff, t0)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, vmmc.ErrNodeDead) {
+			t.joinRecovery()
+			continue // homes were reassigned; resend the phase
+		}
+		panic(fmt.Sprintf("svm: phase %d propagation: %v", phase, err))
+	}
+}
+
+// applyLocalDiff applies one of this node's own diffs to its local home
+// copy (primary homes hold committed copies, secondary homes tentative).
+func (t *Thread) applyLocalDiff(c capturedDiff, itv int32, phase int) {
+	n := t.node
+	pg := n.pt.pages[c.pid]
+	cfg := t.cl.cfg
+	t.charge(CompDiff, cfg.CopyNs(c.diff.DataBytes()))
+	if phase == 1 {
+		if pg.tentative == nil {
+			pg.tentative = make([]byte, cfg.PageSize)
+			pg.tentVer = proto.NewVector(cfg.Nodes)
+		}
+		pg.applyDiff(pg.tentative, pg.tentVer, n.id, itv, c.diff)
+	} else {
+		if pg.committed == nil {
+			pg.committed = make([]byte, cfg.PageSize)
+			pg.commitVer = proto.NewVector(cfg.Nodes)
+		}
+		pg.applyDiff(pg.committed, pg.commitVer, n.id, itv, c.diff)
+		pg.serveWaiters(pg.commitVer, pg.committed, cfg.PageSize+64)
+	}
+	pg.verGate.Broadcast()
+}
+
+// saveTimestamp replicates the node's new vector time, the interval's
+// update list, the self-secondary diff stash, and the releasing thread's
+// point-B checkpoint at the backup node (end of phase 1, Fig. 2) — one
+// atomic deposit, so the roll-forward/roll-back decision and the thread
+// state it implies can never diverge. Recovery uses it to arbitrate the
+// interrupted release, re-serve write notices, and rebuild committed
+// copies whose only tentative replica died with this node.
+func (t *Thread) saveTimestamp(itv int32, caps []capturedDiff) {
+	n := t.node
+	var stash []*mem.Diff
+	for _, c := range caps {
+		if t.cl.pageHomes.Secondary(c.pid) == n.id {
+			stash = append(stash, c.diff)
+		}
+	}
+	snap, sz := t.encodeSnapshot()
+	t.cl.ckptCount++
+	t.charge(CompCheckpoint, t.cl.cfg.CheckpointNs(sz))
+	for {
+		backup := t.cl.backupOf(n.id)
+		m := &saveTSMsg{
+			Node: n.id, TS: n.vt.Clone(), List: n.intervals[itv-1], Stash: stash,
+			CkptThread: t.id, CkptHome: n.id, Snap: snap,
+		}
+		t.charge(CompCheckpoint, t.cl.cfg.NICPostOverheadNs)
+		t0 := t.beginWait()
+		n.ep.Post(t.proc, backup, m.wireBytes(), m)
+		err := n.ep.Fence(t.proc)
+		// The deposit's bulk is the point-B thread state; the paper counts
+		// remote state saving under checkpointing.
+		t.endWait(CompCheckpoint, t0)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, vmmc.ErrNodeDead) {
+			t.joinRecovery()
+			continue // backup reassigned; save again
+		}
+		panic(fmt.Sprintf("svm: timestamp save: %v", err))
+	}
+}

@@ -1,0 +1,46 @@
+package svm
+
+// ProtoStats aggregates protocol event counts across the cluster. The
+// paper's diff analysis (§5.3.1) reasons about exactly these quantities —
+// in particular the fraction of diffed pages that are *home* pages, which
+// the base protocol never diffs but the extended protocol ships twice.
+type ProtoStats struct {
+	// Page movement.
+	ReadFaults    int64 // faults entering the read-fault handler
+	RemoteFetches int64 // pages fetched from a remote home
+	LocalFetches  int64 // FT primary homes copying committed -> working
+	WriteFaults   int64 // twin creations (pages entering an interval)
+
+	// Diff propagation.
+	PagesDiffed     int64 // page-diffs captured at commits
+	HomePagesDiffed int64 // of those, pages whose primary home is the committer
+	DiffMsgs        int64 // diff messages posted (batches count once)
+	DiffBytes       int64 // wire bytes of diff payloads
+
+	// Consistency actions.
+	Invalidations int64
+	Intervals     int64 // committed intervals
+	DeferredWords int64 // sibling mid-CS words deferred at commits (SMP)
+
+	// Synchronization.
+	RemoteAcquires    int64 // lock acquisitions that went to a home
+	IntraNodeHandoffs int64 // lock exchanges satisfied inside one SMP
+	BarrierEpisodes   int64 // completed global barrier episodes
+
+	// Failure handling.
+	Recoveries      int64
+	MigratedThreads int64
+}
+
+// ProtoStats returns a snapshot of the cluster's protocol counters.
+func (cl *Cluster) ProtoStats() ProtoStats { return cl.stats }
+
+// HomeDiffFraction returns the fraction of diffed pages that were the
+// committer's own primary-home pages (the paper reports >99% for
+// Water-SpatialFL, ~25% for Water-Nsquared, ~12% for RadixLocal).
+func (s ProtoStats) HomeDiffFraction() float64 {
+	if s.PagesDiffed == 0 {
+		return 0
+	}
+	return float64(s.HomePagesDiffed) / float64(s.PagesDiffed)
+}

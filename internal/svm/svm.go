@@ -1,0 +1,419 @@
+package svm
+
+import (
+	"fmt"
+
+	"ftsvm/internal/checkpoint"
+	"ftsvm/internal/mem"
+	"ftsvm/internal/model"
+	"ftsvm/internal/proto"
+	"ftsvm/internal/sim"
+	"ftsvm/internal/vmmc"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+const (
+	// ModeBase is the original failure-free GeNIMA protocol: one home per
+	// page, diffs only for non-home pages, no checkpointing.
+	ModeBase Mode = iota
+	// ModeFT is the extended protocol: two homes per page with
+	// tentative/committed copies, two-phase diff propagation, page
+	// locking, replicated locks, and thread checkpointing.
+	ModeFT
+)
+
+func (m Mode) String() string {
+	if m == ModeBase {
+		return "base"
+	}
+	return "extended"
+}
+
+// LockAlgo selects the lock synchronization algorithm.
+type LockAlgo int
+
+const (
+	// LockPolling is the stateless centralized polling lock the paper
+	// adopts (§4.3): a per-lock vector at a home node, written and read
+	// with remote operations. In ModeFT the vector and the release
+	// timestamp are replicated at a secondary home.
+	LockPolling LockAlgo = iota
+	// LockQueue is GeNIMA's distributed queuing lock, kept as the
+	// ablation baseline the paper compares against. It has no
+	// fault-tolerant variant (that design was abandoned for complexity).
+	LockQueue
+	// LockNIC implements the paper's §6 future-work suggestion: the lock
+	// home's network interface performs an atomic test-and-set, so an
+	// uncontended acquire is a single round trip instead of the polling
+	// lock's write+read+clear sequence. It remains stateless at the home
+	// (one owner word + the release timestamp) and therefore keeps the
+	// polling lock's trivial recovery; ModeFT replicates it the same way.
+	LockNIC
+)
+
+func (a LockAlgo) String() string {
+	switch a {
+	case LockPolling:
+		return "polling"
+	case LockQueue:
+		return "queue"
+	default:
+		return "nic"
+	}
+}
+
+// TraceEvent is emitted at protocol milestones; failure-injection tests
+// use these to kill nodes inside specific protocol windows.
+type TraceEvent struct {
+	Kind   string // e.g. "release.commit", "release.phase1", "release.savets", "release.ckptB", "release.phase2", "release.done", "ckpt.A", "barrier.arrive", "recovery.done"
+	Node   int
+	Thread int
+	Seq    int64 // per-node release count or barrier epoch
+}
+
+// Tracer receives trace events in simulation context. Implementations may
+// call Cluster.KillNode from Event.
+type Tracer interface {
+	Event(e TraceEvent)
+}
+
+// Options configures a cluster run.
+type Options struct {
+	Config   model.Config
+	Mode     Mode
+	LockAlgo LockAlgo
+
+	// Pages is the number of shared pages; the shared address space is
+	// Pages*Config.PageSize bytes.
+	Pages int
+	// Locks is the number of application locks.
+	Locks int
+	// HomeAssign maps a page to its (primary) home node. Nil means
+	// block-distributed: page p lives on node p*nodes/pages.
+	HomeAssign func(page int) int
+	// Body is the application thread body, run once per compute thread.
+	Body func(t *Thread)
+	// Tracer, if set, observes protocol milestones.
+	Tracer Tracer
+	// SerialReleases forces lock releases on one node to serialize, as the
+	// paper's initial extended design does. ModeFT sets this implicitly.
+	SerialReleases bool
+	// AggregateDiffs batches all of a release's diffs bound for the same
+	// home into one message (the paper's §6 suggestion for reducing
+	// network-interface contention). Off by default to match the paper's
+	// measured configuration.
+	AggregateDiffs bool
+	// UnsafeSinglePhase collapses the extended protocol's two diff
+	// propagation phases into one: both home copies are updated
+	// concurrently under a single fence. It quantifies what the two-phase
+	// ordering costs — and deliberately forfeits its guarantee: a failure
+	// mid-propagation can leave the two replicas of a page irreconcilable
+	// (neither copy is known-complete). For ablation only.
+	UnsafeSinglePhase bool
+}
+
+// Cluster is a running SVM cluster.
+type Cluster struct {
+	eng *sim.Engine
+	cfg *model.Config
+	opt *Options
+	net *vmmc.Network
+
+	nodes   []*node
+	threads []*Thread
+
+	pageHomes *proto.HomeMap
+	lockHomes *proto.HomeMap
+
+	rec recoveryState
+
+	sliceNs   int64 // debt flush threshold
+	ckptCount int64 // total thread-state checkpoints taken
+
+	// trackWriters enables per-word last-writer tracking (extended
+	// protocol with >1 thread/node): commitInterval defers a sibling's
+	// mid-critical-section words to that sibling's own interval so a
+	// replayed sibling never double-applies lock-protected writes.
+	trackWriters bool
+
+	stats ProtoStats
+}
+
+// node is one SMP node: a set of threads sharing a page table and the
+// node-level protocol state.
+type node struct {
+	id int
+	cl *Cluster
+	ep *vmmc.Endpoint
+	pt *pageTable
+
+	vt        proto.VectorTime
+	intervals []proto.UpdateList // own committed update lists, index = interval-1
+	dirty     []int              // pages written in the current interval
+
+	// releaseBusy serializes release/commit critical sections on the node
+	// (a recovery-interruptible mutex).
+	releaseBusy bool
+	releaseGate sim.Gate
+
+	threads []*Thread
+	busy    int
+	dead    bool // fail-stopped (ground truth, set at kill time)
+	// excluded means a completed recovery removed this node from the
+	// cluster: home maps, barrier membership, and backup rings no longer
+	// reference it. Between dead and excluded, survivors still address the
+	// node and discover the failure through timeouts and send errors.
+	excluded bool
+
+	// Lock state: home-side entries for locks homed here, acquirer-side
+	// node-level ownership.
+	lockHomesState []*lockHome
+	owned          map[int]*ownedLock
+	qlWait         map[int]*sim.Future // queue lock: pending grants
+
+	// Backup-node state: checkpoints and replicated protocol data for the
+	// nodes this node backs up.
+	ckpts      *checkpoint.Store
+	savedTS    map[int]proto.VectorTime
+	savedLists map[int][]proto.UpdateList
+	savedStash map[int][]*mem.Diff // replicated self-secondary diffs
+	ckptHome   map[int]int         // threadID -> original home node of backed-up threads
+
+	// Barrier state (participant side).
+	barEpoch         int           // last completed episode
+	barCount         map[int64]int // per-episode local arrivals
+	barSentEpoch     int64         // episode for which the node arrival was sent
+	barGate          sim.Gate
+	barRelease       *barRelease
+	barSentIntervals int // own intervals already shipped in barrier arrivals
+
+	// Barrier state (master side).
+	masterArrivals map[int]map[int]*barArrive // epoch -> node -> arrival
+	masterDone     int                        // highest episode released
+
+	releaseSeq int64 // per-node count of completed release operations
+}
+
+// lockHome is the home-side state of one lock.
+type lockHome struct {
+	vec  []bool // polling lock vector, one element per node
+	vt   proto.VectorTime
+	tail int // queue lock: last requester, -1 if free
+	init bool
+}
+
+// ownedLock is a node's acquirer-side view of a lock it holds or is
+// acquiring.
+type ownedLock struct {
+	held         bool    // this node owns the lock
+	holder       *Thread // thread inside the critical section, nil if parked locally
+	busy         bool    // a local thread is performing the remote acquire
+	localWaiters int
+	gate         sim.Gate
+	// pendingGrant holds a queue-lock handoff obligation: when the local
+	// release happens, grant to this node instead of keeping the cache.
+	pendingGrant int // -1 none
+	// releaseVT is the node's vector time at its last release of this
+	// lock (queue lock: travels with a grant served from the cache).
+	releaseVT proto.VectorTime
+}
+
+// New validates opt and builds a cluster ready to Run.
+func New(opt Options) (*Cluster, error) {
+	cfg := opt.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Pages <= 0 {
+		return nil, fmt.Errorf("svm: Pages = %d, need > 0", opt.Pages)
+	}
+	if opt.Body == nil {
+		return nil, fmt.Errorf("svm: no Body")
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("svm: need >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if opt.Mode == ModeFT && opt.LockAlgo == LockQueue {
+		return nil, fmt.Errorf("svm: the queue lock has no fault-tolerant variant (§4.3); use LockPolling with ModeFT")
+	}
+	cl := &Cluster{
+		eng:     sim.New(cfg.Seed),
+		cfg:     &cfg,
+		opt:     &opt,
+		sliceNs: 20_000,
+	}
+	cl.trackWriters = opt.Mode == ModeFT && cfg.ThreadsPerNode > 1
+	cl.net = vmmc.New(cl.eng, &cfg)
+	assign := opt.HomeAssign
+	if assign == nil {
+		pages := opt.Pages
+		assign = func(p int) int { return p * cfg.Nodes / pages }
+	}
+	cl.pageHomes = proto.NewHomeMap(opt.Pages, cfg.Nodes, assign)
+	nlocks := opt.Locks
+	if nlocks == 0 {
+		nlocks = 1
+	}
+	cl.lockHomes = proto.NewHomeMap(nlocks, cfg.Nodes, func(l int) int { return l % cfg.Nodes })
+
+	cl.nodes = make([]*node, cfg.Nodes)
+	for i := range cl.nodes {
+		n := &node{
+			id:             i,
+			cl:             cl,
+			ep:             cl.net.Endpoint(i),
+			vt:             proto.NewVector(cfg.Nodes),
+			owned:          make(map[int]*ownedLock),
+			qlWait:         make(map[int]*sim.Future),
+			ckpts:          checkpoint.NewStore(),
+			savedTS:        make(map[int]proto.VectorTime),
+			savedLists:     make(map[int][]proto.UpdateList),
+			savedStash:     make(map[int][]*mem.Diff),
+			ckptHome:       make(map[int]int),
+			lockHomesState: make([]*lockHome, nlocks),
+			barCount:       make(map[int64]int),
+			masterArrivals: make(map[int]map[int]*barArrive),
+		}
+		n.pt = newPageTable(n, opt.Pages, cfg.Nodes)
+		n.ep.SetHandler(n.handle)
+		cl.nodes[i] = n
+	}
+	// Install home-side page storage.
+	for p := 0; p < opt.Pages; p++ {
+		prim, sec := cl.pageHomes.Primary(p), cl.pageHomes.Secondary(p)
+		if opt.Mode == ModeFT {
+			cl.nodes[prim].pt.initHome(p, proto.Primary, true, cfg.PageSize, cfg.Nodes)
+			cl.nodes[sec].pt.initHome(p, proto.Secondary, true, cfg.PageSize, cfg.Nodes)
+		} else {
+			cl.nodes[prim].pt.initHome(p, proto.Primary, false, cfg.PageSize, cfg.Nodes)
+		}
+	}
+	// Install home-side lock state.
+	for l := 0; l < nlocks; l++ {
+		cl.nodes[cl.lockHomes.Primary(l)].initLockHome(l)
+		if opt.Mode == ModeFT {
+			cl.nodes[cl.lockHomes.Secondary(l)].initLockHome(l)
+		}
+	}
+	return cl, nil
+}
+
+func (n *node) initLockHome(l int) {
+	if n.lockHomesState[l] == nil {
+		n.lockHomesState[l] = &lockHome{
+			vec:  make([]bool, n.cl.cfg.Nodes),
+			vt:   proto.NewVector(n.cl.cfg.Nodes),
+			tail: -1,
+			init: true,
+		}
+	}
+}
+
+// Engine exposes the underlying simulation engine (for scheduling
+// failure injection and custom events).
+func (cl *Cluster) Engine() *sim.Engine { return cl.eng }
+
+// Network exposes the simulated interconnect (for traffic statistics).
+func (cl *Cluster) Network() *vmmc.Network { return cl.net }
+
+// Mode returns the protocol variant the cluster runs.
+func (cl *Cluster) Mode() Mode { return cl.opt.Mode }
+
+// Run spawns ThreadsPerNode threads on every node, executes the
+// application to completion, and returns the first simulation error
+// (deadlock, app panic).
+func (cl *Cluster) Run() error {
+	tid := 0
+	for _, n := range cl.nodes {
+		for k := 0; k < cl.cfg.ThreadsPerNode; k++ {
+			t := &Thread{id: tid, cl: cl, node: n}
+			cl.threads = append(cl.threads, t)
+			n.threads = append(n.threads, t)
+			tid++
+		}
+	}
+	for _, t := range cl.threads {
+		cl.spawnThread(t)
+	}
+	return cl.eng.Run()
+}
+
+// spawnThread starts (or restarts, after migration) a thread's body.
+func (cl *Cluster) spawnThread(t *Thread) {
+	name := fmt.Sprintf("t%d@n%d", t.id, t.node.id)
+	t.proc = cl.eng.Spawn(name, func(p *sim.Proc) {
+		t.node.busy++
+		defer func() {
+			t.node.busy--
+			cl.noteThreadExit()
+		}()
+		cl.opt.Body(t)
+		t.finished = true
+		t.endTime = p.Now()
+	})
+}
+
+// trace emits a trace event if a tracer is attached.
+func (cl *Cluster) trace(kind string, nodeID, threadID int, seq int64) {
+	if cl.opt.Tracer != nil {
+		cl.opt.Tracer.Event(TraceEvent{Kind: kind, Node: nodeID, Thread: threadID, Seq: seq})
+	}
+}
+
+// backupOf returns the node that stores checkpoints and saved timestamps
+// for node id: the next non-excluded, non-failed node in ring order.
+func (cl *Cluster) backupOf(id int) int {
+	for i := 1; i <= len(cl.nodes); i++ {
+		c := (id + i) % len(cl.nodes)
+		if !cl.nodes[c].dead && !cl.nodes[c].excluded {
+			return c
+		}
+	}
+	panic("svm: no live backup node")
+}
+
+// Threads returns all compute threads (including migrated ones).
+func (cl *Cluster) Threads() []*Thread { return cl.threads }
+
+// ExecTime returns the application execution time: the virtual time at
+// which the last thread finished.
+func (cl *Cluster) ExecTime() int64 {
+	var max int64
+	for _, t := range cl.threads {
+		if t.endTime > max {
+			max = t.endTime
+		}
+	}
+	return max
+}
+
+// AvgBreakdown returns the per-component breakdown averaged over threads
+// that finished.
+func (cl *Cluster) AvgBreakdown() Breakdown {
+	var sum Breakdown
+	var n int64
+	for _, t := range cl.threads {
+		if t.finished {
+			sum.Add(&t.bd)
+			n++
+		}
+	}
+	sum.Scale(n)
+	return sum
+}
+
+// CheckpointCount returns the total number of thread-state checkpoints
+// taken (points A and B across all releases).
+func (cl *Cluster) CheckpointCount() int64 { return cl.ckptCount }
+
+// Finished reports whether every live thread ran to completion.
+func (cl *Cluster) Finished() bool {
+	for _, t := range cl.threads {
+		if !t.dead && !t.finished {
+			return false
+		}
+	}
+	return true
+}

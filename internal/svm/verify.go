@@ -1,0 +1,45 @@
+package svm
+
+import "fmt"
+
+// VerifyReplicas audits the extended protocol's replication invariant
+// after a run: every page's two homes are distinct live nodes, and the
+// primary's committed copy matches the secondary's tentative copy byte
+// for byte (with equal version vectors). At quiescence — all threads
+// finished, no release in flight — the two replicas must have converged;
+// any divergence means an interval was applied to one copy and lost on
+// the other, exactly the corruption the two-phase pipeline exists to
+// prevent. Returns nil for ModeBase clusters (no replicas to audit).
+func (cl *Cluster) VerifyReplicas() error {
+	if cl.opt.Mode != ModeFT {
+		return nil
+	}
+	for p := 0; p < cl.pageHomes.Items(); p++ {
+		P := cl.pageHomes.Primary(p)
+		S := cl.pageHomes.Secondary(p)
+		if P == S {
+			return fmt.Errorf("page %d: replicas colocated on node %d", p, P)
+		}
+		if cl.nodes[P].dead || cl.nodes[S].dead {
+			return fmt.Errorf("page %d: home on dead node (P=%d S=%d)", p, P, S)
+		}
+		pgP := cl.nodes[P].pt.pages[p]
+		pgS := cl.nodes[S].pt.pages[p]
+		if pgP.committed == nil && pgS.tentative == nil {
+			continue // never touched
+		}
+		if pgP.committed == nil || pgS.tentative == nil {
+			return fmt.Errorf("page %d: one replica missing", p)
+		}
+		for i := range pgP.committed {
+			if pgP.committed[i] != pgS.tentative[i] {
+				return fmt.Errorf("page %d: replicas diverge at byte %d (committed %d vs tentative %d)",
+					p, i, pgP.committed[i], pgS.tentative[i])
+			}
+		}
+		if !pgP.commitVer.Equal(pgS.tentVer) {
+			return fmt.Errorf("page %d: replica versions diverge: %v vs %v", p, pgP.commitVer, pgS.tentVer)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package vmmc
+
+import (
+	"testing"
+
+	"ftsvm/internal/model"
+	"ftsvm/internal/sim"
+)
+
+// BenchmarkPostThroughput measures one-way deposit throughput through the
+// simulated NIC pipeline (post queue, drain, wire) — the cost in host
+// wall-clock of one protocol message end to end.
+func BenchmarkPostThroughput(b *testing.B) {
+	eng := sim.New(1)
+	cfg := model.Default()
+	cfg.Nodes = 2
+	net := New(eng, &cfg)
+	got := 0
+	net.Endpoint(1).SetHandler(func(d *Delivery) { got++ })
+	net.Endpoint(0).SetHandler(func(d *Delivery) {})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		ep := net.Endpoint(0)
+		for i := 0; i < b.N; i++ {
+			ep.Post(p, 1, 128, i)
+		}
+		if err := ep.Fence(p); err != nil {
+			b.Error(err)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkRequestRoundTrip measures the synchronous fetch path: request,
+// remote handler, NIC-generated reply.
+func BenchmarkRequestRoundTrip(b *testing.B) {
+	eng := sim.New(1)
+	cfg := model.Default()
+	cfg.Nodes = 2
+	net := New(eng, &cfg)
+	net.Endpoint(1).SetHandler(func(d *Delivery) { d.Reply("pong", 4096) })
+	net.Endpoint(0).SetHandler(func(d *Delivery) {})
+	eng.Spawn("client", func(p *sim.Proc) {
+		ep := net.Endpoint(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := ep.Request(p, 1, 64, "ping"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
