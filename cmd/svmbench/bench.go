@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ftsvm/internal/harness"
+	"ftsvm/internal/svm"
+)
+
+// benchCell is one app x mode x topology measurement. The virtual metrics
+// (vms, msgs, bytes) are deterministic protocol outputs; wall_ms measures
+// the simulator itself on this host.
+type benchCell struct {
+	App            string  `json:"app"`
+	Mode           string  `json:"mode"`
+	Nodes          int     `json:"nodes"`
+	ThreadsPerNode int     `json:"threads_per_node"`
+	VirtualMs      float64 `json:"vms"`
+	Msgs           int64   `json:"msgs"`
+	Bytes          int64   `json:"bytes"`
+	WallMs         float64 `json:"wall_ms"`
+}
+
+// benchReport is the machine-readable artifact written by -json and read
+// back by -compare.
+type benchReport struct {
+	Size        string      `json:"size"`
+	Nodes       int         `json:"nodes"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	TotalWallMs float64     `json:"total_wall_ms"`
+	AllocBytes  uint64      `json:"alloc_bytes"`
+	Allocs      uint64      `json:"allocs"`
+	Cells       []benchCell `json:"cells"`
+}
+
+// benchGrid is the app x mode x {1,2 threads} grid the figures run.
+func benchGrid(sz harness.Size, nodes int) []harness.Config {
+	var cells []harness.Config
+	for _, tpn := range []int{1, 2} {
+		for _, app := range harness.AppNames {
+			for _, mode := range []svm.Mode{svm.ModeBase, svm.ModeFT} {
+				cells = append(cells, harness.Config{
+					App: app, Size: sz, Mode: mode, Nodes: nodes, ThreadsPerNode: tpn,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// runBenchJSON runs the figure grid and writes the report to path.
+func runBenchJSON(path string, sz harness.Size, nodes int) error {
+	cells := benchGrid(sz, nodes)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	results := harness.RunGrid(cells)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	rep := benchReport{
+		Size:        string(sz),
+		Nodes:       nodes,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		TotalWallMs: float64(wall) / 1e6,
+		AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
+		Allocs:      m1.Mallocs - m0.Mallocs,
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s/%s (tpn=%d): %w", cells[i].App, cells[i].Mode, cells[i].ThreadsPerNode, r.Err)
+		}
+		rep.Cells = append(rep.Cells, benchCell{
+			App:            r.App,
+			Mode:           r.Mode.String(),
+			Nodes:          r.Nodes,
+			ThreadsPerNode: r.ThreadsPerNode,
+			VirtualMs:      float64(r.ExecNs) / 1e6,
+			Msgs:           r.MsgsSent,
+			Bytes:          r.BytesSent,
+			WallMs:         float64(r.WallNs) / 1e6,
+		})
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d cells, total wall %.1f ms, %.1f MB allocated (%d allocs), GOMAXPROCS=%d\n",
+		path, len(rep.Cells), rep.TotalWallMs, float64(rep.AllocBytes)/1e6, rep.Allocs, rep.GoMaxProcs)
+	return nil
+}
+
+// runBenchCompare re-runs every cell recorded in oldPath and prints the
+// per-cell deltas. The virtual metrics must not move (they are deterministic
+// protocol outputs — any delta flags a behavior change); wall time is the
+// simulator speedup/regression.
+func runBenchCompare(oldPath string) error {
+	blob, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old benchReport
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	cells := make([]harness.Config, len(old.Cells))
+	for i, c := range old.Cells {
+		mode := svm.ModeBase
+		if c.Mode != svm.ModeBase.String() {
+			mode = svm.ModeFT
+		}
+		cells[i] = harness.Config{
+			App: c.App, Size: harness.Size(old.Size), Mode: mode,
+			Nodes: c.Nodes, ThreadsPerNode: c.ThreadsPerNode,
+		}
+	}
+	start := time.Now()
+	results := harness.RunGrid(cells)
+	wall := time.Since(start)
+
+	fmt.Printf("Comparison vs %s (size=%s, %d nodes)\n", oldPath, old.Size, old.Nodes)
+	fmt.Printf("%-14s %-9s %4s %12s %12s %10s %12s\n",
+		"app", "protocol", "tpn", "vms delta", "msgs delta", "wall old", "wall new")
+	drift := 0
+	for i, r := range results {
+		o := old.Cells[i]
+		if r.Err != nil {
+			fmt.Printf("%-14s %-9s %4d ERROR: %v\n", o.App, o.Mode, o.ThreadsPerNode, r.Err)
+			drift++
+			continue
+		}
+		dvms := float64(r.ExecNs)/1e6 - o.VirtualMs
+		dmsgs := r.MsgsSent - o.Msgs
+		if dvms != 0 || dmsgs != 0 {
+			drift++
+		}
+		fmt.Printf("%-14s %-9s %4d %+12.3f %+12d %9.1fms %11.1fms\n",
+			o.App, o.Mode, o.ThreadsPerNode, dvms, dmsgs, o.WallMs, float64(r.WallNs)/1e6)
+	}
+	fmt.Printf("total wall: %.1f ms old, %.1f ms new (%+.0f%%)\n",
+		old.TotalWallMs, float64(wall)/1e6,
+		100*(float64(wall)/1e6-old.TotalWallMs)/old.TotalWallMs)
+	if drift != 0 {
+		return fmt.Errorf("%d cell(s) changed virtual metrics — protocol behavior drifted", drift)
+	}
+	fmt.Println("virtual metrics identical in every cell")
+	return nil
+}

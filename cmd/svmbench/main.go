@@ -14,6 +14,8 @@
 //	svmbench -ablation pagesize   # coherence-granularity sweep
 //	svmbench -ablation detection  # failure-detection timeout sweep
 //	svmbench -size small|medium|paper
+//	svmbench -json out.json       # machine-readable figure-grid report
+//	svmbench -compare old.json    # re-run a report's grid, print deltas
 package main
 
 import (
@@ -32,10 +34,27 @@ func main() {
 	ablation := flag.String("ablation", "", "ablation to run: locks, postqueue, checkpoint, serial, recovery, aggregate, twophase, pagesize, detection")
 	size := flag.String("size", "medium", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 8, "cluster nodes")
+	jsonOut := flag.String("json", "", "run the figure grid and write a machine-readable report to this file")
+	compare := flag.String("compare", "", "re-run the grid recorded in this report and print per-cell deltas")
 	flag.Parse()
 
 	sz := harness.Size(*size)
 	out := os.Stdout
+
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut, sz, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare != "" {
+		if err := runBenchCompare(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *figure == "" && *ablation == "" {
 		*figure = "all"

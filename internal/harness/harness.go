@@ -7,7 +7,11 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"ftsvm/internal/apps"
 	"ftsvm/internal/model"
@@ -98,7 +102,12 @@ type Result struct {
 	PostStallNs int64
 	// Checkpoints is the total number of thread-state checkpoints taken.
 	Checkpoints int64
-	Err         error
+	// Proto carries the cluster's protocol event counters.
+	Proto svm.ProtoStats
+	// WallNs is the host wall-clock time the simulation took (a simulator
+	// performance metric; everything else above is virtual).
+	WallNs int64
+	Err    error
 }
 
 // Run executes one experiment cell.
@@ -107,8 +116,52 @@ func Run(c Config) Result {
 	return r
 }
 
+// RunGrid executes the cells concurrently on up to GOMAXPROCS workers and
+// returns the results in input order. Each simulation is deterministic and
+// fully independent (own engine, own page pool, own workload instance), so
+// the results are identical to running the cells serially — only the
+// wall-clock time changes.
+func RunGrid(cells []Config) []Result {
+	out := make([]Result, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			out[i] = Run(c)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				out[i] = Run(cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // runWithStats executes one cell and also returns the protocol counters.
 func runWithStats(c Config) (Result, svm.ProtoStats) {
+	start := time.Now()
+	r, st := runCell(c)
+	r.WallNs = int64(time.Since(start))
+	r.Proto = st
+	return r, st
+}
+
+func runCell(c Config) (Result, svm.ProtoStats) {
 	cfg := model.Default()
 	cfg.Nodes = c.Nodes
 	cfg.ThreadsPerNode = c.ThreadsPerNode
@@ -158,11 +211,19 @@ func runWithStats(c Config) (Result, svm.ProtoStats) {
 	return r, cl.ProtoStats()
 }
 
-// RunPair runs a base/extended pair for one app and configuration.
+// RunPair runs a base/extended pair for one app and configuration, using
+// both cores when available.
 func RunPair(app string, size Size, nodes, tpn int) (base, ext Result) {
-	base = Run(Config{App: app, Size: size, Mode: svm.ModeBase, Nodes: nodes, ThreadsPerNode: tpn})
-	ext = Run(Config{App: app, Size: size, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: tpn})
-	return
+	rs := RunGrid(pairCells(app, size, nodes, tpn))
+	return rs[0], rs[1]
+}
+
+// pairCells returns the base/extended cell pair for one configuration.
+func pairCells(app string, size Size, nodes, tpn int) []Config {
+	return []Config{
+		{App: app, Size: size, Mode: svm.ModeBase, Nodes: nodes, ThreadsPerNode: tpn},
+		{App: app, Size: size, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: tpn},
+	}
 }
 
 // ms renders nanoseconds as milliseconds with one decimal.
@@ -191,8 +252,13 @@ func FigureBreakdown(out io.Writer, size Size, nodes, tpn int, six bool) {
 	fmt.Fprintf(out, "%s: execution time breakdown (ms/thread), %d nodes x %d thread(s)/node, size=%s\n",
 		kind, nodes, tpn, size)
 	fmt.Fprintf(out, "%-14s %-9s %9s  %s\n", "app", "protocol", "total", columnHeader(cols))
+	var cells []Config
 	for _, app := range AppNames {
-		base, ext := RunPair(app, size, nodes, tpn)
+		cells = append(cells, pairCells(app, size, nodes, tpn)...)
+	}
+	results := RunGrid(cells)
+	for i, app := range AppNames {
+		base, ext := results[2*i], results[2*i+1]
 		for _, r := range []Result{base, ext} {
 			if r.Err != nil {
 				fmt.Fprintf(out, "%-14s %-9s ERROR: %v\n", app, r.Mode, r.Err)
@@ -236,8 +302,13 @@ func OverheadSummary(out io.Writer, size Size, nodes int) {
 	for _, tpn := range []int{1, 2} {
 		lo, hi := 1e18, -1e18
 		fmt.Fprintf(out, "Overhead, %d nodes x %d thread(s)/node, size=%s\n", nodes, tpn, size)
+		var cells []Config
 		for _, app := range AppNames {
-			base, ext := RunPair(app, size, nodes, tpn)
+			cells = append(cells, pairCells(app, size, nodes, tpn)...)
+		}
+		results := RunGrid(cells)
+		for i, app := range AppNames {
+			base, ext := results[2*i], results[2*i+1]
 			if base.Err != nil || ext.Err != nil {
 				fmt.Fprintf(out, "  %-12s ERROR base=%v ext=%v\n", app, base.Err, ext.Err)
 				continue
@@ -263,12 +334,17 @@ func OverheadSummary(out io.Writer, size Size, nodes int) {
 func DiffAnalysis(out io.Writer, size Size, nodes int) {
 	fmt.Fprintf(out, "Diff analysis (extended protocol, %d nodes x 1 thread, size=%s)\n", nodes, size)
 	fmt.Fprintf(out, "%-14s %12s %12s %10s %12s\n", "app", "pages diffed", "home pages", "home frac", "checkpoints")
-	for _, app := range AppNames {
-		r, st := runWithStats(Config{App: app, Size: size, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1})
+	cells := make([]Config, len(AppNames))
+	for i, app := range AppNames {
+		cells[i] = Config{App: app, Size: size, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1}
+	}
+	for i, r := range RunGrid(cells) {
+		app := AppNames[i]
 		if r.Err != nil {
 			fmt.Fprintf(out, "%-14s ERROR: %v\n", app, r.Err)
 			continue
 		}
+		st := r.Proto
 		fmt.Fprintf(out, "%-14s %12d %12d %9.0f%% %12d\n",
 			app, st.PagesDiffed, st.HomePagesDiffed, 100*st.HomeDiffFraction(), r.Checkpoints)
 	}
@@ -282,9 +358,18 @@ func DiffAnalysis(out io.Writer, size Size, nodes int) {
 func ScalingSummary(out io.Writer, size Size, apps []string) {
 	fmt.Fprintf(out, "Scaling: extended-protocol overhead vs cluster size (1 thread/node, size=%s)\n", size)
 	fmt.Fprintf(out, "%-14s %8s %12s %12s %10s\n", "app", "nodes", "base ms", "extended ms", "overhead")
+	nodeCounts := []int{2, 4, 8, 16}
+	var cells []Config
 	for _, app := range apps {
-		for _, nodes := range []int{2, 4, 8, 16} {
-			base, ext := RunPair(app, size, nodes, 1)
+		for _, nodes := range nodeCounts {
+			cells = append(cells, pairCells(app, size, nodes, 1)...)
+		}
+	}
+	results := RunGrid(cells)
+	for i, app := range apps {
+		for j, nodes := range nodeCounts {
+			k := 2 * (i*len(nodeCounts) + j)
+			base, ext := results[k], results[k+1]
 			if base.Err != nil || ext.Err != nil {
 				fmt.Fprintf(out, "%-14s %8d ERROR base=%v ext=%v\n", app, nodes, base.Err, ext.Err)
 				continue

@@ -5,7 +5,20 @@
 // writer compares the current page contents against the twin (the copy
 // taken before its first write in the interval) and ships only the
 // modified words, so writers of disjoint parts of one page never conflict.
+//
+// Diff creation sits on the protocol's per-release fast path (twice per
+// release in the extended protocol), so Compute scans pages eight bytes
+// at a time with an early-out for unmodified pages, and ComputeInto
+// recycles all of its storage through a sync.Pool for diffs that do not
+// outlive their use site.
 package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
 
 // Run is one contiguous modified region of a page.
 type Run struct {
@@ -28,38 +41,180 @@ const runHeaderBytes = 8
 // (page id + run count + protocol tag).
 const diffHeaderBytes = 16
 
-// Compute compares cur against twin with word granularity and returns the
-// modified regions, merging adjacent modified words into single runs. The
-// two slices must have equal length, a multiple of word. The returned runs
-// hold copies of cur's data, so cur may keep changing afterwards.
-func Compute(twin, cur []byte, word int) []Run {
-	if len(twin) != len(cur) {
-		panic("mem: twin/current length mismatch")
+// CheckGeometry validates a page/word-size pair for diffing: the word
+// size must be positive and divide the page size, or the final partial
+// word of every page would be silently mis-diffed. Constructors (the
+// model config, the SVM page table) call this before building state.
+func CheckGeometry(pageSize, wordSize int) error {
+	switch {
+	case wordSize <= 0:
+		return fmt.Errorf("mem: WordSize = %d, need > 0", wordSize)
+	case pageSize < wordSize:
+		return fmt.Errorf("mem: PageSize %d smaller than WordSize %d", pageSize, wordSize)
+	case pageSize%wordSize != 0:
+		return fmt.Errorf("mem: PageSize %d not a multiple of WordSize %d", pageSize, wordSize)
 	}
-	var runs []Run
+	return nil
+}
+
+// span is one contiguous modified byte range [off, end) of a page,
+// recorded before any payload is copied.
+type span struct {
+	off, end int
+}
+
+// appendSpans scans twin against cur with word granularity and appends
+// the modified ranges to spans, merging adjacent modified words. The hot
+// loop compares eight-byte chunks (a single load each on little-endian
+// hardware); only chunks that differ are re-examined per word. The tail —
+// pages not a multiple of 8, or word sizes other than 4/8 — falls back to
+// the byte-wise word compare.
+func appendSpans(spans []span, twin, cur []byte, word int) []span {
+	n := len(cur)
 	start := -1
-	for off := 0; off <= len(cur); off += word {
-		same := off == len(cur) || wordEqual(twin, cur, off, word)
-		switch {
-		case !same && start < 0:
-			start = off
-		case same && start >= 0:
-			data := make([]byte, off-start)
-			copy(data, cur[start:off])
-			runs = append(runs, Run{Off: start, Data: data})
-			start = -1
+	off := 0
+	if word == 8 || word == 4 {
+		for ; off+8 <= n; off += 8 {
+			if binary.LittleEndian.Uint64(twin[off:]) == binary.LittleEndian.Uint64(cur[off:]) {
+				if start >= 0 {
+					spans = append(spans, span{start, off})
+					start = -1
+				}
+				continue
+			}
+			if word == 8 {
+				if start < 0 {
+					start = off
+				}
+				continue
+			}
+			// word == 4: the differing chunk holds two words; resolve each.
+			for w := off; w < off+8; w += 4 {
+				if binary.LittleEndian.Uint32(twin[w:]) == binary.LittleEndian.Uint32(cur[w:]) {
+					if start >= 0 {
+						spans = append(spans, span{start, w})
+						start = -1
+					}
+				} else if start < 0 {
+					start = w
+				}
+			}
 		}
+	}
+	for ; off < n; off += word {
+		end := off + word
+		if end > n {
+			end = n
+		}
+		if bytes.Equal(twin[off:end], cur[off:end]) {
+			if start >= 0 {
+				spans = append(spans, span{start, off})
+				start = -1
+			}
+		} else if start < 0 {
+			start = off
+		}
+	}
+	if start >= 0 {
+		spans = append(spans, span{start, n})
+	}
+	return spans
+}
+
+// DiffBuf is reusable storage for diff computation: the span scratch, the
+// run headers, and one payload arena all runs point into. Obtain one with
+// GetDiffBuf, compute with ComputeInto, and Release it when the resulting
+// runs are no longer referenced. Runs produced through a DiffBuf are valid
+// only until the next ComputeInto on the same buffer or its Release —
+// diffs that escape (shipped in messages, stashed for recovery) must use
+// Compute, which hands out independent storage.
+type DiffBuf struct {
+	spans []span
+	runs  []Run
+	data  []byte
+}
+
+var diffBufPool = sync.Pool{New: func() any { return new(DiffBuf) }}
+
+// GetDiffBuf returns a pooled DiffBuf.
+func GetDiffBuf() *DiffBuf { return diffBufPool.Get().(*DiffBuf) }
+
+// Release returns the buffer (and every Run it produced) to the pool.
+func (b *DiffBuf) Release() { diffBufPool.Put(b) }
+
+// ComputeInto is Compute with caller-managed storage: run headers and
+// payload bytes live in buf and are reused across calls, so a steady-state
+// compute/apply/discard cycle allocates nothing. See DiffBuf for the
+// lifetime contract.
+func ComputeInto(buf *DiffBuf, twin, cur []byte, word int) []Run {
+	checkComputeArgs(twin, cur, word)
+	if bytes.Equal(twin, cur) {
+		return nil
+	}
+	buf.spans = appendSpans(buf.spans[:0], twin, cur, word)
+	return buf.materialize(cur)
+}
+
+// materialize copies the spanned regions of cur into the buffer's arena
+// and returns the run slice describing them.
+func (b *DiffBuf) materialize(cur []byte) []Run {
+	total := 0
+	for _, s := range b.spans {
+		total += s.end - s.off
+	}
+	if cap(b.data) < total {
+		b.data = make([]byte, total)
+	}
+	arena := b.data[:0]
+	if cap(b.runs) < len(b.spans) {
+		b.runs = make([]Run, len(b.spans))
+	}
+	runs := b.runs[:len(b.spans)]
+	for i, s := range b.spans {
+		p := len(arena)
+		arena = append(arena, cur[s.off:s.end]...)
+		runs[i] = Run{Off: s.off, Data: arena[p:len(arena):len(arena)]}
 	}
 	return runs
 }
 
-func wordEqual(a, b []byte, off, word int) bool {
-	for i := off; i < off+word && i < len(a); i++ {
-		if a[i] != b[i] {
-			return false
-		}
+func checkComputeArgs(twin, cur []byte, word int) {
+	if len(twin) != len(cur) {
+		panic("mem: twin/current length mismatch")
 	}
-	return true
+	if word <= 0 {
+		panic("mem: non-positive word size")
+	}
+}
+
+// Compute compares cur against twin with word granularity and returns the
+// modified regions, merging adjacent modified words into single runs. The
+// two slices must have equal length; a final partial word (length not a
+// multiple of word) is compared over its remaining bytes. The returned
+// runs hold copies of cur's data — one arena allocation for the whole
+// diff — so cur may keep changing afterwards and the runs may be retained
+// indefinitely (messages, recovery stashes).
+func Compute(twin, cur []byte, word int) []Run {
+	checkComputeArgs(twin, cur, word)
+	if bytes.Equal(twin, cur) {
+		return nil
+	}
+	buf := GetDiffBuf()
+	spans := appendSpans(buf.spans[:0], twin, cur, word)
+	buf.spans = spans
+	total := 0
+	for _, s := range spans {
+		total += s.end - s.off
+	}
+	arena := make([]byte, 0, total)
+	runs := make([]Run, len(spans))
+	for i, s := range spans {
+		p := len(arena)
+		arena = append(arena, cur[s.off:s.end]...)
+		runs[i] = Run{Off: s.off, Data: arena[p:len(arena):len(arena)]}
+	}
+	buf.Release()
+	return runs
 }
 
 // Apply writes the runs into dst.
@@ -92,10 +247,15 @@ func (d *Diff) Empty() bool { return len(d.Runs) == 0 }
 // phases) while a copy travels.
 func (d *Diff) Clone() *Diff {
 	c := &Diff{Page: d.Page, Runs: make([]Run, len(d.Runs))}
+	total := 0
+	for _, r := range d.Runs {
+		total += len(r.Data)
+	}
+	arena := make([]byte, 0, total)
 	for i, r := range d.Runs {
-		data := make([]byte, len(r.Data))
-		copy(data, r.Data)
-		c.Runs[i] = Run{Off: r.Off, Data: data}
+		p := len(arena)
+		arena = append(arena, r.Data...)
+		c.Runs[i] = Run{Off: r.Off, Data: arena[p:len(arena):len(arena)]}
 	}
 	return c
 }

@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // benchPage builds a twin/current pair where frac per mille of the words
 // differ, spread uniformly — the diff-computation regimes the protocol
@@ -41,6 +44,64 @@ func BenchmarkComputeClean(b *testing.B)  { benchCompute(b, 0) }
 func BenchmarkComputeSparse(b *testing.B) { benchCompute(b, 20) }
 func BenchmarkComputeHalf(b *testing.B)   { benchCompute(b, 500) }
 func BenchmarkComputeFull(b *testing.B)   { benchCompute(b, 1000) }
+
+// BenchmarkDiff covers the three write regimes the protocol produces —
+// untouched pages (the bytes.Equal early-out), sparse lock-protected
+// updates, and densely rewritten pages — at the default 4 KB page and a
+// 16 KB page (the -ablation pagesize sweep's largest granularity).
+func BenchmarkDiff(b *testing.B) {
+	regimes := []struct {
+		name string
+		frac int
+	}{
+		{"untouched", 0},
+		{"sparse", 20},
+		{"dense", 500},
+	}
+	for _, size := range []int{4096, 16384} {
+		for _, rg := range regimes {
+			size, frac := size, rg.frac
+			b.Run(fmt.Sprintf("%s/%dB", rg.name, size), func(b *testing.B) {
+				twin, cur := benchPage(size, frac)
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runs := Compute(twin, cur, 8)
+					if frac > 0 && len(runs) == 0 {
+						b.Fatal("no runs")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDiffPooled is the fault path's shape: compute into a pooled
+// DiffBuf, consume, release. Steady state must report 0 allocs/op.
+func BenchmarkDiffPooled(b *testing.B) {
+	for _, size := range []int{4096, 16384} {
+		size := size
+		b.Run(fmt.Sprintf("sparse/%dB", size), func(b *testing.B) {
+			twin, cur := benchPage(size, 20)
+			// Warm the pool so the measured loop is the steady state.
+			warm := GetDiffBuf()
+			ComputeInto(warm, twin, cur, 8)
+			warm.Release()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf := GetDiffBuf()
+				runs := ComputeInto(buf, twin, cur, 8)
+				if len(runs) == 0 {
+					b.Fatal("no runs")
+				}
+				buf.Release()
+			}
+		})
+	}
+}
 
 func BenchmarkApply(b *testing.B) {
 	twin, cur := benchPage(4096, 200)

@@ -7,7 +7,11 @@
 // bandwidth ~100 MB/s limited by the PCI bus, 4 KB pages).
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"ftsvm/internal/mem"
+)
 
 // Config holds every tunable of the simulation. The zero value is not
 // usable; start from Default and override fields.
@@ -99,8 +103,6 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: Nodes = %d, need >= 1", c.Nodes)
 	case c.ThreadsPerNode < 1:
 		return fmt.Errorf("model: ThreadsPerNode = %d, need >= 1", c.ThreadsPerNode)
-	case c.PageSize < c.WordSize || c.PageSize%c.WordSize != 0:
-		return fmt.Errorf("model: PageSize %d not a multiple of WordSize %d", c.PageSize, c.WordSize)
 	case c.WordSize != 4 && c.WordSize != 8:
 		return fmt.Errorf("model: WordSize = %d, need 4 or 8", c.WordSize)
 	case c.PostQueueDepth < 1:
@@ -111,6 +113,11 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: HeartbeatTimeoutNs must be positive")
 	case c.LockBackoffMaxNs < c.LockBackoffMinNs:
 		return fmt.Errorf("model: lock backoff max < min")
+	}
+	// Diff geometry: the word size must divide the page size, or the diff
+	// engine would silently mis-handle the tail of every page.
+	if err := mem.CheckGeometry(c.PageSize, c.WordSize); err != nil {
+		return fmt.Errorf("model: %w", err)
 	}
 	return nil
 }

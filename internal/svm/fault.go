@@ -52,7 +52,7 @@ func (t *Thread) readFault(pg *page) {
 				// Base protocol: the home's working copy is authoritative
 				// (diffs land in it directly), but the home must wait
 				// until every diff it was notified of has arrived.
-				pg.ensureWorking(cfg.PageSize)
+				pg.ensureWorking()
 				for !pg.baseVer.Covers(pg.reqVer) {
 					t0 := t.beginWait()
 					pg.verGate.WaitTimeout(t.proc, 4*cfg.HeartbeatTimeoutNs)
@@ -92,7 +92,7 @@ func (t *Thread) localFetch(pg *page) (needRecovery bool) {
 			return true // home assignment may change; caller re-resolves
 		}
 	}
-	buf := pg.ensureWorking(cfg.PageSize)
+	buf := pg.ensureWorking()
 	copy(buf, pg.committed)
 	t.cl.stats.LocalFetches++
 	t.charge(CompDataWait, cfg.CopyNs(cfg.PageSize))
@@ -117,15 +117,18 @@ func (t *Thread) remoteFetch(pg *page, home int) (needRecovery bool) {
 		panic(fmt.Sprintf("svm: fetch page %d: %v", pg.id, err))
 	}
 	rep := v.(*fetchReply)
+	if len(rep.Data) != cfg.PageSize {
+		panic("svm: fetch reply size mismatch")
+	}
 	if !rep.Ver.Covers(pg.fetchNeed(t.node.id)) {
 		// The page was invalidated again while the fetch was in flight;
 		// retry with the stronger requirement.
+		t.cl.putPageBuf(rep.Data)
 		return false
 	}
+	// A stale read-only copy may still be installed; the reply replaces it.
+	t.cl.putPageBuf(pg.working)
 	pg.working = rep.Data
-	if len(pg.working) != cfg.PageSize {
-		panic("svm: fetch reply size mismatch")
-	}
 	t.cl.stats.RemoteFetches++
 	t.finishFetch(pg, rep.Ver)
 	return false
@@ -138,12 +141,18 @@ func (t *Thread) remoteFetch(pg *page, home int) (needRecovery bool) {
 func (t *Thread) finishFetch(pg *page, ver proto.VectorTime) {
 	cfg := t.cl.cfg
 	if pg.dirtyWorking != nil {
-		localDiff := mem.Diff{Page: pg.id, Runs: mem.Compute(pg.dirtyTwin, pg.dirtyWorking, cfg.WordSize)}
+		// The merge diff lives only for this replay: compute it in pooled
+		// storage and release everything before returning.
+		dbuf := mem.GetDiffBuf()
+		localDiff := mem.Diff{Page: pg.id, Runs: mem.ComputeInto(dbuf, pg.dirtyTwin, pg.dirtyWorking, cfg.WordSize)}
 		t.charge(CompDataWait, cfg.DiffNs(cfg.PageSize))
 		// New twin = fetched copy (pre-merge), so the next commit diffs out
 		// exactly the local modifications.
-		pg.twin = append([]byte(nil), pg.working...)
+		pg.twin = t.cl.clonePageBuf(pg.working)
 		localDiff.Apply(pg.working)
+		dbuf.Release()
+		t.cl.putPageBuf(pg.dirtyWorking)
+		t.cl.putPageBuf(pg.dirtyTwin)
 		pg.dirtyWorking, pg.dirtyTwin = nil, nil
 		pg.state = pWritable
 		// Re-list the page: the dirty-list entry that accompanied the
@@ -175,7 +184,7 @@ func (t *Thread) writeFault(pg *page) {
 	// Check, clone, and transition without an intervening yield: a sibling
 	// completing the same fault during a yield would have its writes
 	// captured into a re-cloned twin and silently excluded from the diff.
-	pg.twin = append([]byte(nil), pg.working...)
+	pg.twin = t.cl.clonePageBuf(pg.working)
 	pg.state = pWritable
 	t.node.dirty = append(t.node.dirty, pg.id)
 	t.cl.stats.WriteFaults++

@@ -69,7 +69,7 @@ func (n *node) applyDiffMsg(m *diffMsg) {
 	cfg := n.cl.cfg
 	switch m.Phase {
 	case 0: // base protocol: the working copy is the home copy
-		buf := pg.ensureWorking(cfg.PageSize)
+		buf := pg.ensureWorking()
 		m.Diff.Apply(buf)
 		// Keep concurrently-diffed local copies coherent so the home's own
 		// diffs contain only its own modifications.
@@ -125,16 +125,14 @@ func (n *node) handleFetch(d *vmmc.Delivery, m *fetchReq) {
 		}
 		buf, ver = pg.committed, pg.commitVer
 	} else {
-		buf, ver = pg.ensureWorking(cfg.PageSize), pg.baseVer
+		buf, ver = pg.ensureWorking(), pg.baseVer
 		if ver == nil {
 			pg.baseVer = proto.NewVector(cfg.Nodes)
 			ver = pg.baseVer
 		}
 	}
 	if ver.Covers(m.Need) {
-		data := make([]byte, len(buf))
-		copy(data, buf)
-		rep := &fetchReply{Page: m.Page, Data: data, Ver: ver.Clone()}
+		rep := &fetchReply{Page: m.Page, Data: n.cl.clonePageBuf(buf), Ver: ver.Clone()}
 		d.Reply(rep, rep.wireBytes())
 		return
 	}

@@ -41,6 +41,7 @@ type fetchWaiter struct {
 // its home pages.
 type page struct {
 	id    int
+	pt    *pageTable
 	state pageState
 
 	working []byte // local copy; nil until first touched
@@ -115,10 +116,55 @@ func newPageTable(n *node, npages, nnodes int) *pageTable {
 	for i := range pt.pages {
 		pt.pages[i] = &page{
 			id:     i,
+			pt:     pt,
 			reqVer: proto.NewVector(nnodes),
 		}
 	}
 	return pt
+}
+
+// --- Page-buffer pool ---
+//
+// Twins, working copies, and fetch-reply payloads are all PageSize bytes
+// and churn at every write fault, fetch, and interval commit; recycling
+// them keeps the steady-state fault and commit paths allocation-free. The
+// simulation engine is single-threaded (processes run lock-step), so a
+// plain stack suffices — and each cluster owns its own, so concurrent
+// RunGrid simulations never contend.
+
+// getPageBuf returns a page-size buffer with arbitrary contents.
+func (cl *Cluster) getPageBuf() []byte {
+	if n := len(cl.pageFree); n > 0 {
+		b := cl.pageFree[n-1]
+		cl.pageFree[n-1] = nil
+		cl.pageFree = cl.pageFree[:n-1]
+		return b
+	}
+	return make([]byte, cl.cfg.PageSize)
+}
+
+// getPageBufZero returns a zeroed page buffer: fresh working copies must
+// read as zero-initialized shared memory.
+func (cl *Cluster) getPageBufZero() []byte {
+	b := cl.getPageBuf()
+	clear(b)
+	return b
+}
+
+// clonePageBuf returns a pooled copy of src (which must be page-size).
+func (cl *Cluster) clonePageBuf(src []byte) []byte {
+	b := cl.getPageBuf()
+	copy(b, src)
+	return b
+}
+
+// putPageBuf recycles a page buffer. The caller must guarantee no other
+// reference survives. nil and wrong-size buffers are dropped.
+func (cl *Cluster) putPageBuf(b []byte) {
+	if len(b) != cl.cfg.PageSize {
+		return
+	}
+	cl.pageFree = append(cl.pageFree, b)
 }
 
 // fetchNeed returns the version a fetch by node me must observe: the
@@ -132,10 +178,10 @@ func (pg *page) fetchNeed(me int) proto.VectorTime {
 	return need
 }
 
-// ensureWorking lazily allocates the working copy.
-func (pg *page) ensureWorking(size int) []byte {
+// ensureWorking lazily allocates the working copy from the cluster pool.
+func (pg *page) ensureWorking() []byte {
 	if pg.working == nil {
-		pg.working = make([]byte, size)
+		pg.working = pg.pt.node.cl.getPageBufZero()
 	}
 	return pg.working
 }
@@ -148,7 +194,7 @@ func (pt *pageTable) initHome(pid int, role proto.Role, ft bool, size, nnodes in
 			pg.baseVer = proto.NewVector(nnodes)
 		}
 		// Base-mode home pages are always valid at their home.
-		pg.ensureWorking(size)
+		pg.ensureWorking()
 		if pg.state == pInvalid {
 			pg.state = pReadOnly
 		}
@@ -179,12 +225,13 @@ func (pg *page) applyDiff(copyBuf []byte, ver proto.VectorTime, src int, interva
 }
 
 // serveWaiters replies to deferred fetches now satisfied by ver over buf.
+// Reply payloads come from the page pool; the requester installs them as
+// its working copy (or recycles them on a stale reply).
 func (pg *page) serveWaiters(ver proto.VectorTime, buf []byte, replySize int) {
 	kept := pg.waiters[:0]
 	for _, w := range pg.waiters {
 		if ver.Covers(w.need) {
-			data := make([]byte, len(buf))
-			copy(data, buf)
+			data := pg.pt.node.cl.clonePageBuf(buf)
 			w.d.Reply(&fetchReply{Page: pg.id, Data: data, Ver: ver.Clone()}, replySize)
 		} else {
 			kept = append(kept, w)

@@ -57,6 +57,9 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 		default:
 			continue // already handled (duplicate entry or racing commit)
 		}
+		// Escaping storage on purpose: the captured diff may be shipped,
+		// stashed at the backup, and retained across recovery epochs, so it
+		// cannot come from a pooled DiffBuf.
 		d := &mem.Diff{Page: pid, Runs: mem.Compute(twin, cur, cfg.WordSize)}
 		// SMP replay exactness: words last written by a sibling that is
 		// inside a critical section right now are NOT committed with this
@@ -67,12 +70,17 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 		// again. Single-thread-per-node runs never defer.
 		deferred := t.splitDeferred(pg, d)
 		diffBytes += cfg.PageSize // diff creation scans the whole page
+		// Buffers dropped here are recycled at the end of the iteration:
+		// the twin is still read below by preImage.
+		var freeCur, freeTwin []byte
 		if deferred {
 			retained = append(retained, pid)
 		} else {
 			if stash {
+				freeCur, freeTwin = pg.dirtyWorking, pg.dirtyTwin
 				pg.dirtyWorking, pg.dirtyTwin = nil, nil
 			} else {
+				freeTwin = pg.twin
 				pg.twin = nil
 				if pg.state == pWritable {
 					pg.state = pReadOnly
@@ -85,6 +93,8 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 			}
 		}
 		if d.Empty() {
+			t.cl.putPageBuf(freeCur)
+			t.cl.putPageBuf(freeTwin)
 			continue
 		}
 		t.cl.stats.PagesDiffed++
@@ -116,6 +126,8 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 		if ft {
 			pg.locked = true
 		}
+		t.cl.putPageBuf(freeCur)
+		t.cl.putPageBuf(freeTwin)
 	}
 	n.dirty = append(n.dirty[:0], retained...)
 	if len(pages) == 0 {
@@ -142,7 +154,7 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 				if pg.baseVer[n.id] < itv {
 					pg.baseVer[n.id] = itv
 				}
-				pg.serveWaiters(pg.baseVer, pg.ensureWorking(cfg.PageSize), cfg.PageSize+64)
+				pg.serveWaiters(pg.baseVer, pg.ensureWorking(), cfg.PageSize+64)
 				pg.verGate.Broadcast()
 			}
 		}

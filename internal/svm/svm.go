@@ -132,6 +132,10 @@ type Cluster struct {
 	sliceNs   int64 // debt flush threshold
 	ckptCount int64 // total thread-state checkpoints taken
 
+	// pageFree recycles page-size buffers (twins, working copies, fetch
+	// payloads); see pagetable.go.
+	pageFree [][]byte
+
 	// trackWriters enables per-word last-writer tracking (extended
 	// protocol with >1 thread/node): commitInterval defers a sibling's
 	// mid-critical-section words to that sibling's own interval so a
