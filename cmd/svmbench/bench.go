@@ -23,6 +23,10 @@ type benchCell struct {
 	Msgs           int64   `json:"msgs"`
 	Bytes          int64   `json:"bytes"`
 	WallMs         float64 `json:"wall_ms"`
+	// Metrics is the unified obs registry snapshot (svm.*, ckpt.*,
+	// vmmc.* counters) — deterministic like vms/msgs, but informational:
+	// -compare diffs only the headline virtual metrics.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // benchReport is the machine-readable artifact written by -json and read
@@ -84,6 +88,7 @@ func runBenchJSON(path string, sz harness.Size, nodes int) error {
 			Msgs:           r.MsgsSent,
 			Bytes:          r.BytesSent,
 			WallMs:         float64(r.WallNs) / 1e6,
+			Metrics:        r.Metrics.Map(),
 		})
 	}
 	blob, err := json.MarshalIndent(&rep, "", "  ")

@@ -3,12 +3,17 @@
 // application many times, each run fail-stopping one node inside a
 // different protocol window (§4.5's failure cases), and checks that the
 // run completes, the application's own result verification passes, and
-// the surviving replicas of every page agree byte for byte.
+// the surviving replicas of every page agree byte for byte. Every
+// schedule additionally runs under the online invariant auditor
+// (internal/obs), so a single-holder or replication violation aborts the
+// run at the faulting event instead of surfacing as a corrupt result;
+// on any failure each node's last flight-recorder events are dumped.
 //
 // Usage:
 //
 //	svmcheck -app waternsq -size small -nodes 4
 //	svmcheck -app kvstore -seqs 1,2,3,4 -milestones release.savets,release.phase2
+//	svmcheck -app waternsq -lock nic -milestones lock.grant -seqs 0
 //
 // Each schedule is deterministic: a reported failure reproduces exactly
 // under the same flags.
@@ -58,11 +63,24 @@ func main() {
 	size := flag.String("size", "small", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	tpn := flag.Int("threads", 1, "threads per node")
-	seqsFlag := flag.String("seqs", "1,3,5", "comma-separated release/barrier sequence numbers to target")
+	lock := flag.String("lock", "polling", "lock algorithm: polling, nic")
+	seqsFlag := flag.String("seqs", "1,3,5", "comma-separated release/barrier sequence numbers to target (0: any)")
 	milestonesFlag := flag.String("milestones", strings.Join(defaultMilestones, ","), "comma-separated protocol milestones")
+	stride := flag.Int("audit-stride", 16, "invariant-auditor page-sweep stride (1: every event)")
+	ring := flag.Int("ring", 64, "flight-recorder ring size per node")
 	verbose := flag.Bool("v", false, "print every schedule, not just failures")
 	flag.Parse()
 
+	var algo svm.LockAlgo
+	switch *lock {
+	case "polling":
+		algo = svm.LockPolling
+	case "nic":
+		algo = svm.LockNIC
+	default:
+		fmt.Fprintf(os.Stderr, "bad -lock %q: the extended protocol supports polling and nic\n", *lock)
+		os.Exit(2)
+	}
 	var seqs []int64
 	for _, f := range strings.Split(*seqsFlag, ",") {
 		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
@@ -74,16 +92,18 @@ func main() {
 	}
 	milestones := strings.Split(*milestonesFlag, ",")
 
-	fmt.Printf("svmcheck: %s size=%s, %d nodes x %d thread(s); %d milestones x %d victims x %d seqs\n",
-		*app, *size, *nodes, *tpn, len(milestones), *nodes, len(seqs))
+	fmt.Printf("svmcheck: %s size=%s, %d nodes x %d thread(s), %s lock; %d milestones x %d victims x %d seqs\n",
+		*app, *size, *nodes, *tpn, *lock, len(milestones), *nodes, len(seqs))
 
+	sch := schedule{app: *app, size: harness.Size(*size), nodes: *nodes, tpn: *tpn,
+		algo: algo, stride: *stride, ring: *ring}
 	ran, unreachable, failed := 0, 0, 0
 	for _, kind := range milestones {
 		kind = strings.TrimSpace(kind)
 		for victim := 0; victim < *nodes; victim++ {
 			for _, seq := range seqs {
 				name := fmt.Sprintf("%-16s victim=%d seq=%d", kind, victim, seq)
-				status, err := runSchedule(*app, harness.Size(*size), *nodes, *tpn, kind, victim, seq)
+				status, err := sch.run(kind, victim, seq)
 				switch {
 				case err != nil:
 					failed++
@@ -108,26 +128,45 @@ func main() {
 	}
 }
 
-// runSchedule executes one failure schedule. The bool reports whether the
-// kill point was actually reached; unreached schedules verify nothing.
-func runSchedule(app string, size harness.Size, nodes, tpn int, kind string, victim int, seq int64) (bool, error) {
+type schedule struct {
+	app    string
+	size   harness.Size
+	nodes  int
+	tpn    int
+	algo   svm.LockAlgo
+	stride int
+	ring   int
+}
+
+// run executes one failure schedule. The bool reports whether the kill
+// point was actually reached; unreached schedules verify nothing. On any
+// failure the last flight-recorder events of every node are dumped.
+func (s schedule) run(kind string, victim int, seq int64) (reached bool, err error) {
 	cfg := model.Default()
-	cfg.Nodes = nodes
-	cfg.ThreadsPerNode = tpn
-	s := apps.Shape{Nodes: nodes, ThreadsPerNode: tpn, PageSize: cfg.PageSize}
-	w, err := harness.Build(app, size, s)
+	cfg.Nodes = s.nodes
+	cfg.ThreadsPerNode = s.tpn
+	shape := apps.Shape{Nodes: s.nodes, ThreadsPerNode: s.tpn, PageSize: cfg.PageSize}
+	w, err := harness.Build(s.app, s.size, shape)
 	if err != nil {
 		return false, err
 	}
 	k := &killer{kind: kind, node: victim, seq: seq}
 	cl, err := svm.New(svm.Options{
-		Config: cfg, Mode: svm.ModeFT, Pages: w.Pages, Locks: w.Locks,
+		Config: cfg, Mode: svm.ModeFT, LockAlgo: s.algo, Pages: w.Pages, Locks: w.Locks,
 		HomeAssign: w.HomeAssign, Body: w.Body, Tracer: k,
 	})
 	if err != nil {
 		return false, err
 	}
 	k.cl = cl
+	rec := cl.EnableFlightRecorder(s.ring)
+	cl.EnableAuditor(s.stride)
+	defer func() {
+		if err != nil && reached {
+			fmt.Printf("flight recorder, schedule %s victim=%d seq=%d:\n", kind, victim, seq)
+			rec.Dump(os.Stdout, 8)
+		}
+	}()
 	if err := cl.Run(); err != nil {
 		return k.done, fmt.Errorf("simulation error: %w", err)
 	}

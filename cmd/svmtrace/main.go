@@ -1,13 +1,19 @@
-// Command svmtrace runs an application and streams the protocol's trace
-// events (releases, phases, checkpoints, barriers, failures, recovery
-// milestones) with virtual timestamps — the tool for inspecting protocol
-// behaviour around an injected failure.
+// Command svmtrace runs an application and streams the protocol's
+// flight-recorder events (releases, phases, checkpoints, barriers, lock
+// traffic, failures, recovery milestones) with virtual timestamps — the
+// tool for inspecting protocol behaviour around an injected failure.
+//
+// The stream is the per-node flight recorder of internal/obs: svmtrace
+// attaches a sink to the recorder and filters the live event stream; the
+// same ring buffers keep the last -ring events per node, dumped after the
+// run with -dump.
 //
 // Usage:
 //
 //	svmtrace -app radix -size small -kill 2 -killat 3ms
 //	svmtrace -app fft -filter recovery            # only recovery events
 //	svmtrace -app lu -filter "release.phase1,kill" -node 1
+//	svmtrace -app waternsq -filter lock -limit 50 -dump
 package main
 
 import (
@@ -20,25 +26,26 @@ import (
 	"ftsvm/internal/apps"
 	"ftsvm/internal/harness"
 	"ftsvm/internal/model"
+	"ftsvm/internal/obs"
 	"ftsvm/internal/svm"
 )
 
 type printer struct {
-	cl      *svm.Cluster
 	kinds   map[string]bool
 	node    int
 	emitted int
 	limit   int
 }
 
-func (p *printer) Event(e svm.TraceEvent) {
+func (p *printer) event(e obs.Event) {
 	if p.limit > 0 && p.emitted >= p.limit {
 		return
 	}
+	kind := e.Kind.String()
 	if len(p.kinds) > 0 {
 		match := false
 		for k := range p.kinds {
-			if strings.HasPrefix(e.Kind, k) {
+			if strings.HasPrefix(kind, k) {
 				match = true
 				break
 			}
@@ -47,12 +54,12 @@ func (p *printer) Event(e svm.TraceEvent) {
 			return
 		}
 	}
-	if p.node >= 0 && e.Node != p.node {
+	if p.node >= 0 && int(e.Node) != p.node {
 		return
 	}
 	p.emitted++
 	fmt.Printf("%12.3fms  %-18s node=%d thread=%d seq=%d\n",
-		float64(p.cl.Engine().Now())/1e6, e.Kind, e.Node, e.Thread, e.Seq)
+		float64(e.TimeNs)/1e6, kind, e.Node, e.Thread, e.Seq)
 }
 
 func main() {
@@ -66,6 +73,9 @@ func main() {
 	filter := flag.String("filter", "", "comma-separated event-kind prefixes (empty: all)")
 	node := flag.Int("node", -1, "only events from this node (-1: all)")
 	limit := flag.Int("limit", 2000, "maximum events to print (0: unlimited)")
+	ring := flag.Int("ring", 64, "flight-recorder ring size per node")
+	dump := flag.Bool("dump", false, "dump each node's flight-recorder ring after the run")
+	audit := flag.Bool("audit", false, "enable the online invariant auditor (stride 1)")
 	flag.Parse()
 
 	cfg := model.Default()
@@ -92,18 +102,25 @@ func main() {
 
 	cl, err := svm.New(svm.Options{
 		Config: cfg, Mode: m, Pages: w.Pages, Locks: w.Locks,
-		HomeAssign: w.HomeAssign, Body: w.Body, Tracer: pr,
+		HomeAssign: w.HomeAssign, Body: w.Body,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	pr.cl = cl
+	rec := cl.EnableFlightRecorder(*ring)
+	rec.SetSink(pr.event)
+	if *audit {
+		cl.EnableAuditor(1)
+	}
 	if *kill >= 0 {
 		cl.Engine().At(killAt.Nanoseconds(), func() { cl.KillNode(*kill) })
 	}
 	if err := cl.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "simulation error:", err)
+		if *dump {
+			rec.Dump(os.Stderr, *ring)
+		}
 		os.Exit(1)
 	}
 	status := "verified OK"
@@ -112,4 +129,7 @@ func main() {
 	}
 	fmt.Printf("--- %s finished in %.2f ms virtual; %s; %d events printed\n",
 		w.Name, float64(cl.ExecTime())/1e6, status, pr.emitted)
+	if *dump {
+		rec.Dump(os.Stdout, *ring)
+	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"ftsvm/internal/apps"
 	"ftsvm/internal/model"
+	"ftsvm/internal/obs"
 	"ftsvm/internal/svm"
 )
 
@@ -104,6 +105,9 @@ type Result struct {
 	Checkpoints int64
 	// Proto carries the cluster's protocol event counters.
 	Proto svm.ProtoStats
+	// Metrics is the unified registry snapshot (svm.*, ckpt.*, vmmc.*
+	// counters) the cluster exposes through the obs layer.
+	Metrics obs.Snapshot
 	// WallNs is the host wall-clock time the simulation took (a simulator
 	// performance metric; everything else above is virtual).
 	WallNs int64
@@ -208,6 +212,7 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 		r.PostStallNs += st.PostStallsNs
 	}
 	r.Checkpoints = cl.CheckpointCount()
+	r.Metrics = cl.Metrics()
 	return r, cl.ProtoStats()
 }
 

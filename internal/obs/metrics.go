@@ -1,0 +1,74 @@
+package obs
+
+import "sort"
+
+// Counter is one named monotonic count.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a point-in-time reading of a registry, in registration
+// order (stable across runs, so snapshots of deterministic simulations
+// compare bit-identically).
+type Snapshot []Counter
+
+// Map returns the snapshot as name -> value (JSON-friendly; Go
+// marshals map keys sorted, so the encoding is deterministic too).
+func (s Snapshot) Map() map[string]int64 {
+	m := make(map[string]int64, len(s))
+	for _, c := range s {
+		m[c.Name] = c.Value
+	}
+	return m
+}
+
+// Get returns the value of the named counter.
+func (s Snapshot) Get(name string) (int64, bool) {
+	for _, c := range s {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sorted returns a name-sorted copy (for human-readable listings).
+func (s Snapshot) Sorted() Snapshot {
+	out := append(Snapshot(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Registry aggregates counter sources from independent subsystems
+// (protocol stats, network stats, checkpoint counts) under dotted
+// prefixes. Sources are closures read only at Snapshot, so registering
+// them costs nothing during the run.
+type Registry struct {
+	sources []source
+}
+
+type source struct {
+	prefix string
+	read   func() []Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a counter source under prefix ("svm", "vmmc", ...).
+func (r *Registry) Add(prefix string, read func() []Counter) {
+	r.sources = append(r.sources, source{prefix: prefix, read: read})
+}
+
+// Snapshot reads every source and returns the combined counters as
+// "prefix.name" entries, in registration order.
+func (r *Registry) Snapshot() Snapshot {
+	var out Snapshot
+	for _, s := range r.sources {
+		for _, c := range s.read() {
+			out = append(out, Counter{Name: s.prefix + "." + c.Name, Value: c.Value})
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package obs is the simulator's observability layer: a per-node
+// flight recorder of structured protocol events, a metrics registry
+// unifying the counters scattered across the protocol and network
+// layers, and the event/kind vocabulary shared by both.
+//
+// The design constraint is the same one PR 1 imposed on diff buffers:
+// zero allocation in steady state. Events are fixed-size value structs
+// recorded into preallocated rings, so an enabled recorder costs two
+// branches and a struct copy per event and an idle one costs nothing.
+// Recording never charges virtual time, so enabling the recorder cannot
+// perturb the simulation's deterministic event stream.
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind identifies a protocol event. String() returns the stable dotted
+// names that predate this package (svm.TraceEvent.Kind), so recorder
+// consumers and legacy tracers filter on the same vocabulary.
+type Kind uint8
+
+const (
+	KNone Kind = iota
+
+	// Release pipeline milestones (§4.2, Fig. 2).
+	KReleaseCommit
+	KReleasePhase1
+	KReleaseSaveTS
+	KReleaseCkptB
+	KReleasePhase2
+	KReleaseDone
+
+	// Checkpointing.
+	KCkptA
+
+	// Barrier.
+	KBarrierArrive
+
+	// Lock protocol.
+	KLockSet
+	KLockClear
+	KLockGrant
+	KLockHeld
+	KLockRelease
+
+	// Failure and recovery (§4.5).
+	KKill
+	KRecoveryStart
+	KRecoveryReconcile
+	KRecoveryRehome
+	KRecoveryLocks
+	KRecoverySync
+	KRecoveryRestore
+	KRecoveryMigrate
+	KRecoveryDone
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KNone:              "none",
+	KReleaseCommit:     "release.commit",
+	KReleasePhase1:     "release.phase1",
+	KReleaseSaveTS:     "release.savets",
+	KReleaseCkptB:      "release.ckptB",
+	KReleasePhase2:     "release.phase2",
+	KReleaseDone:       "release.done",
+	KCkptA:             "ckpt.A",
+	KBarrierArrive:     "barrier.arrive",
+	KLockSet:           "lock.set",
+	KLockClear:         "lock.clear",
+	KLockGrant:         "lock.grant",
+	KLockHeld:          "lock.held",
+	KLockRelease:       "lock.release",
+	KKill:              "kill",
+	KRecoveryStart:     "recovery.start",
+	KRecoveryReconcile: "recovery.reconcile",
+	KRecoveryRehome:    "recovery.rehome",
+	KRecoveryLocks:     "recovery.locks",
+	KRecoverySync:      "recovery.sync",
+	KRecoveryRestore:   "recovery.restore",
+	KRecoveryMigrate:   "recovery.migrate",
+	KRecoveryDone:      "recovery.done",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded protocol event. It is a fixed-size value so a
+// ring of them is a single allocation and recording is a struct copy.
+type Event struct {
+	TimeNs int64 // virtual time of the event
+	Seq    int64 // kind-specific sequence (release count, lock id, epoch)
+	Node   int32
+	Thread int32 // -1 for node-level (NI/handler) events
+	Kind   Kind
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10.3fms %-18s node=%d thread=%d seq=%d",
+		float64(e.TimeNs)/1e6, e.Kind.String(), e.Node, e.Thread, e.Seq)
+}
+
+// Ring is a fixed-capacity event ring. Appends overwrite the oldest
+// entry once full and never allocate.
+type Ring struct {
+	buf []Event
+	n   uint64 // total appended
+}
+
+// NewRing returns a ring holding the last capacity events (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Append records e, overwriting the oldest entry when full.
+func (r *Ring) Append(e Event) {
+	r.buf[r.n%uint64(len(r.buf))] = e
+	r.n++
+}
+
+// Total returns the number of events ever appended.
+func (r *Ring) Total() uint64 { return r.n }
+
+// Last returns up to k retained events, oldest first. The returned
+// slice is freshly allocated (Last is a debugging endpoint, not a hot
+// path).
+func (r *Ring) Last(k int) []Event {
+	held := r.n
+	if held > uint64(len(r.buf)) {
+		held = uint64(len(r.buf))
+	}
+	if uint64(k) > held {
+		k = int(held)
+	}
+	out := make([]Event, 0, k)
+	for i := r.n - uint64(k); i < r.n; i++ {
+		out = append(out, r.buf[i%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Recorder is the per-node flight recorder: one ring per node plus an
+// optional streaming sink (svmtrace). The clock stamps events with the
+// engine's virtual time at record.
+type Recorder struct {
+	rings []*Ring
+	clock func() int64
+	sink  func(Event)
+}
+
+// NewRecorder builds a recorder for nodes nodes keeping the last
+// perNode events of each. clock supplies virtual timestamps (may be
+// nil; events then keep a zero TimeNs unless pre-stamped).
+func NewRecorder(nodes, perNode int, clock func() int64) *Recorder {
+	r := &Recorder{rings: make([]*Ring, nodes), clock: clock}
+	for i := range r.rings {
+		r.rings[i] = NewRing(perNode)
+	}
+	return r
+}
+
+// SetSink installs a streaming consumer invoked on every recorded
+// event, after it lands in the ring. Pass nil to detach.
+func (r *Recorder) SetSink(fn func(Event)) { r.sink = fn }
+
+// Record stamps and stores one event. Zero-allocation: the event is
+// copied by value into a preallocated ring.
+func (r *Recorder) Record(e Event) {
+	if e.TimeNs == 0 && r.clock != nil {
+		e.TimeNs = r.clock()
+	}
+	if int(e.Node) >= 0 && int(e.Node) < len(r.rings) {
+		r.rings[e.Node].Append(e)
+	}
+	if r.sink != nil {
+		r.sink(e)
+	}
+}
+
+// Node returns node i's ring.
+func (r *Recorder) Node(i int) *Ring { return r.rings[i] }
+
+// Nodes returns the number of per-node rings.
+func (r *Recorder) Nodes() int { return len(r.rings) }
+
+// Dump writes each node's last lastN retained events to w — the
+// post-mortem view svmcheck prints when a schedule fails.
+func (r *Recorder) Dump(w io.Writer, lastN int) {
+	for i, ring := range r.rings {
+		evs := ring.Last(lastN)
+		fmt.Fprintf(w, "node %d: last %d of %d events\n", i, len(evs), ring.Total())
+		for _, e := range evs {
+			fmt.Fprintf(w, "  %s\n", e.String())
+		}
+	}
+}

@@ -32,7 +32,8 @@ type Engine struct {
 	current *Proc
 	blocked map[*Proc]struct{}
 
-	stopped bool
+	stopped    bool
+	afterEvent func()
 }
 
 type event struct {
@@ -138,6 +139,12 @@ func (e *Engine) At(delay int64, fn func()) {
 // are discarded.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetAfterEvent installs fn to run in engine context after every executed
+// event — the event-boundary hook online invariant auditors attach to.
+// The hook must not schedule events; it may call Stop. Pass nil to remove.
+// No hook is installed by default, so the cost is one nil check per event.
+func (e *Engine) SetAfterEvent(fn func()) { e.afterEvent = fn }
+
 // Run executes events until none remain or Stop is called. It returns a
 // DeadlockError if processes are still blocked when the event heap drains.
 func (e *Engine) Run() error {
@@ -147,6 +154,9 @@ func (e *Engine) Run() error {
 			e.now = ev.t
 		}
 		ev.fn()
+		if e.afterEvent != nil {
+			e.afterEvent()
+		}
 	}
 	if e.stopped {
 		return nil

@@ -1,0 +1,222 @@
+package svm
+
+import (
+	"fmt"
+
+	"ftsvm/internal/proto"
+)
+
+// auditor is the online invariant checker: an opt-in hook at the
+// engine's event boundaries that asserts, after every simulated event,
+// the protocol invariants the paper's fault tolerance rests on. A
+// violation stops the engine at the faulting event and surfaces from
+// Cluster.Run — instead of a replica divergence being discovered by a
+// post-run VerifyReplicas three barriers after the bug.
+//
+// Invariants checked:
+//
+//   - single-holder: at most one live node owns any application lock,
+//     under all three lock algorithms;
+//   - lock-replication (ModeFT): when a node transitions to holding a
+//     lock it acquired remotely, its owner element has already reached
+//     the secondary home's vector. Both the polling and the NIC lock
+//     satisfy this through the per-sender FIFO of the network (the
+//     replication is enqueued before the message whose delivery grants
+//     the lock), so recovery from either home replica never resurrects
+//     a grant-in-flight as a free lock;
+//   - page-state structure: a writable page has a twin and a working
+//     copy, a read-only page has a working copy, and stashed dirty
+//     copies (false sharing) come in pairs on invalid pages;
+//   - page-version monotonicity (stride 1 only): a page's required
+//     version vector never regresses outside recovery (the only legal
+//     decrease is recovery's roll-back of the dead node's element).
+//     Several page-state transitions can coalesce inside one event —
+//     a fault and the following write promotion run in a single
+//     process slice — so per-state transition edges are not observable
+//     at event boundaries, but a version regression always is;
+//   - two-live-replicas (ModeFT, outside recovery): every page's and
+//     every lock's two homes are distinct live nodes and the lock
+//     replicas exist at both.
+type auditor struct {
+	cl     *Cluster
+	stride int // page sweeps every stride events (locks every event)
+	tick   int
+
+	prevHeld [][]bool               // [node][lock]: node owned lock at last boundary
+	prevReq  [][]proto.VectorTime   // [node][page]: reqVer at last sweep
+}
+
+// EnableAuditor attaches the online invariant auditor. stride controls
+// how often the (page-count proportional) page sweep runs: 1 checks
+// after every event and additionally enables the version-monotonicity
+// invariant; larger strides sample, which long svmcheck schedules use
+// to bound cost. Lock invariants are checked after every event
+// regardless. Call before Run.
+func (cl *Cluster) EnableAuditor(stride int) {
+	if stride < 1 {
+		stride = 1
+	}
+	a := &auditor{cl: cl, stride: stride}
+	a.prevHeld = make([][]bool, cl.cfg.Nodes)
+	a.prevReq = make([][]proto.VectorTime, cl.cfg.Nodes)
+	for i := range a.prevHeld {
+		a.prevHeld[i] = make([]bool, cl.lockHomes.Items())
+		a.prevReq[i] = make([]proto.VectorTime, cl.pageHomes.Items())
+		for p := range a.prevReq[i] {
+			a.prevReq[i][p] = proto.NewVector(cl.cfg.Nodes)
+		}
+	}
+	cl.aud = a
+	cl.eng.SetAfterEvent(a.afterEvent)
+}
+
+// afterEvent runs in engine context after every executed event. It
+// performs no scheduling and charges no virtual time; on the first
+// violation it records the error and stops the engine.
+func (a *auditor) afterEvent() {
+	if a.cl.auditErr != nil {
+		return
+	}
+	err := a.checkLocks()
+	if err == nil {
+		a.tick++
+		if a.tick%a.stride == 0 {
+			err = a.checkPages()
+		}
+	}
+	if err != nil {
+		a.fail(err)
+	}
+}
+
+func (a *auditor) fail(err error) {
+	a.cl.auditErr = fmt.Errorf("svm: invariant violation at t=%dns: %w", a.cl.eng.Now(), err)
+	a.cl.eng.Stop()
+}
+
+// limbo reports whether a node is dead but not yet excluded: the window
+// between a kill and the completed recovery, during which home maps
+// still reference the dead node and replica invariants are legitimately
+// broken (that is what recovery repairs).
+func (a *auditor) limbo() bool {
+	for _, n := range a.cl.nodes {
+		if n.dead && !n.excluded {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *auditor) checkLocks() error {
+	cl := a.cl
+	ft := cl.opt.Mode == ModeFT
+	steady := ft && !cl.rec.pending && !a.limbo()
+	for l := 0; l < cl.lockHomes.Items(); l++ {
+		holder := -1
+		for _, n := range cl.nodes {
+			if n.dead {
+				a.prevHeld[n.id][l] = false
+				continue
+			}
+			ol := n.owned[l]
+			held := ol != nil && ol.held
+			if held {
+				if holder >= 0 {
+					return fmt.Errorf("single-holder: lock %d held by nodes %d and %d", l, holder, n.id)
+				}
+				holder = n.id
+				if steady && !a.prevHeld[n.id][l] && cl.lockHomes.Primary(l) != n.id {
+					// Newly granted from a remote primary home: the
+					// owner element must already sit in the secondary
+					// replica (see the package comment above).
+					sec := cl.lockHomes.Secondary(l)
+					lh := cl.nodes[sec].lockHomesState[l]
+					if lh == nil || !lh.vec[n.id] {
+						return fmt.Errorf("lock-replication: lock %d granted to node %d before its owner element reached secondary home %d", l, n.id, sec)
+					}
+				}
+			}
+			a.prevHeld[n.id][l] = held
+		}
+		if steady {
+			prim, sec := cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)
+			if prim == sec {
+				return fmt.Errorf("two-live-replicas: lock %d has both homes on node %d", l, prim)
+			}
+			for _, h := range [2]int{prim, sec} {
+				if cl.nodes[h].dead {
+					return fmt.Errorf("two-live-replicas: lock %d homed on dead node %d", l, h)
+				}
+				if cl.nodes[h].lockHomesState[l] == nil {
+					return fmt.Errorf("two-live-replicas: lock %d has no replica state at home %d", l, h)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (a *auditor) checkPages() error {
+	cl := a.cl
+	calm := !cl.rec.pending && !a.limbo() // no recovery in flight
+	steady := cl.opt.Mode == ModeFT && calm
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		for pid, pg := range n.pt.pages {
+			switch pg.state {
+			case pWritable:
+				if pg.twin == nil || pg.working == nil {
+					return fmt.Errorf("page-state: node %d page %d writable without twin/working", n.id, pid)
+				}
+			case pReadOnly:
+				if pg.working == nil {
+					return fmt.Errorf("page-state: node %d page %d read-only without working copy", n.id, pid)
+				}
+			}
+			if pg.dirtyWorking != nil && (pg.dirtyTwin == nil || pg.state != pInvalid) {
+				return fmt.Errorf("page-state: node %d page %d has an inconsistent dirty stash (state=%d)", n.id, pid, pg.state)
+			}
+			if a.stride == 1 {
+				prev := a.prevReq[n.id][pid]
+				for src, v := range pg.reqVer {
+					// Regressions are legal only inside recovery (the
+					// roll-back of the dead node's element, §4.5.2).
+					if v < prev[src] && calm {
+						return fmt.Errorf("page-transition: node %d page %d required version regressed (node %d element %d -> %d)",
+							n.id, pid, src, prev[src], v)
+					}
+					prev[src] = v
+				}
+			}
+		}
+	}
+	if steady {
+		for p := 0; p < cl.pageHomes.Items(); p++ {
+			prim, sec := cl.pageHomes.Primary(p), cl.pageHomes.Secondary(p)
+			if prim == sec {
+				return fmt.Errorf("two-live-replicas: page %d has both homes on node %d", p, prim)
+			}
+			if cl.nodes[prim].dead || cl.nodes[sec].dead {
+				return fmt.Errorf("two-live-replicas: page %d homed on a dead node (%d/%d)", p, prim, sec)
+			}
+		}
+	}
+	return nil
+}
+
+// auditHolders returns the live nodes currently owning lock l — test
+// and debugging support for the single-holder invariant.
+func (cl *Cluster) auditHolders(l int) []int {
+	var out []int
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		if ol := n.owned[l]; ol != nil && ol.held {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}

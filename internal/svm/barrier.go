@@ -1,6 +1,9 @@
 package svm
 
-import "ftsvm/internal/proto"
+import (
+	"ftsvm/internal/obs"
+	"ftsvm/internal/proto"
+)
 
 // Barrier performs a global barrier over all compute threads: each node's
 // last-arriving thread performs the node's release operation (committing
@@ -80,6 +83,7 @@ func (t *Thread) sendArrival(epoch int64) {
 	lists := append([]proto.UpdateList(nil), n.intervals[n.barSentIntervals:]...)
 	n.barSentIntervals = len(n.intervals)
 	n.barSentEpoch = epoch
+	t.cl.trace(obs.KBarrierArrive, n.id, t.id, epoch)
 	a := &barArrive{Epoch: int(epoch), Node: n.id, VT: n.vt.Clone(), Lists: lists}
 	master := t.cl.masterNode()
 	if master == n.id {

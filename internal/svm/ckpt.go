@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ftsvm/internal/checkpoint"
+	"ftsvm/internal/obs"
 	"ftsvm/internal/vmmc"
 )
 
@@ -56,7 +57,7 @@ func (t *Thread) checkpointSiblings() {
 		}
 		t.saveThreadState(s)
 	}
-	t.cl.trace("ckpt.A", t.node.id, t.id, t.node.releaseSeq+1)
+	t.cl.trace(obs.KCkptA, t.node.id, t.id, t.node.releaseSeq+1)
 }
 
 // checkpointSelf saves the releasing thread's own state (checkpoint point

@@ -48,6 +48,8 @@ func runWithKill(t *testing.T, kind string, victim int, seq int64, tpn int) *Clu
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl.EnableFlightRecorder(64)
+	cl.EnableAuditor(1)
 	tracer.cl = cl
 	if kind == "time" {
 		cl.Engine().At(seq, func() { cl.KillNode(victim) })
@@ -133,6 +135,8 @@ func TestFailWithNICLock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl.EnableFlightRecorder(64)
+	cl.EnableAuditor(1)
 	cl.Engine().At(3_000_000, func() { cl.KillNode(2) })
 	if err := cl.Run(); err != nil {
 		t.Fatal(err)
@@ -174,6 +178,8 @@ func TestFailAtBarrier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl.EnableFlightRecorder(64)
+	cl.EnableAuditor(1)
 	tracer.cl = cl
 	// Kill node 3 shortly after start: it will likely be inside or near a
 	// barrier when the others wait for it.
@@ -204,6 +210,8 @@ func TestSuccessiveFailuresKillTwo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl.EnableFlightRecorder(64)
+	cl.EnableAuditor(1)
 	cl.Engine().At(2_000_000, func() { cl.KillNode(1) })
 	// Second, non-simultaneous failure: node 3 dies at one of its later
 	// releases, but only once the first recovery has fully completed.

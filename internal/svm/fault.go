@@ -266,7 +266,7 @@ func (t *Thread) fetchUpdates(target proto.VectorTime) {
 		}
 		req := &updatesReq{From: n.vt[src] + 1, To: target[src]}
 		t0 := t.beginWait()
-		v, err := n.ep.RequestAbort(t.proc, src, 16, req, func() bool { return t.cl.rec.pending })
+		v, err := n.ep.RequestAbort(t.proc, src, req.wireBytes(), req, func() bool { return t.cl.rec.pending })
 		t.endWait(CompProtocol, t0)
 		if err != nil {
 			if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {

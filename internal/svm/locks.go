@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 	"ftsvm/internal/vmmc"
 )
@@ -52,7 +53,12 @@ func (t *Thread) Acquire(l int) {
 	ol.held = true
 	ol.holder = t
 	t.locksHeld++
-	t.cl.stats.RemoteAcquires++
+	if t.cl.lockHomes.Primary(l) != n.id {
+		// Only acquires that actually went to a remote home count; a
+		// primary-home node acquires through local state, no message.
+		t.cl.stats.RemoteAcquires++
+	}
+	t.cl.trace(obs.KLockHeld, n.id, t.id, int64(l))
 	// Acquire-side consistency: fetch the missing write notices and
 	// invalidate (the releaser's timestamp travels with the lock).
 	if vt != nil && !t.node.vt.Covers(vt) {
@@ -90,6 +96,7 @@ func (t *Thread) handOver(l int, ol *ownedLock) {
 		dst := ol.pendingGrant
 		ol.pendingGrant = -1
 		ol.held = false
+		t.cl.trace(obs.KLockRelease, n.id, t.id, int64(l))
 		g := &qlGrant{Lock: l, VT: n.vt.Clone()}
 		t.charge(CompLock, t.cl.cfg.NICPostOverheadNs)
 		n.ep.PostSystem(dst, g.wireBytes(), g)
@@ -101,6 +108,7 @@ func (t *Thread) handOver(l int, ol *ownedLock) {
 		// Return the lock: clear our element and store our timestamp at
 		// the home(s), atomically per home.
 		ol.held = false
+		t.cl.trace(obs.KLockRelease, n.id, t.id, int64(l))
 		rel := &lockRelease{Lock: l, Node: n.id, VT: n.vt.Clone()}
 		t.postLockMsg(t.cl.lockHomes.Primary(l), rel, rel.wireBytes())
 		if t.cl.opt.Mode == ModeFT {
@@ -158,9 +166,13 @@ func (t *Thread) pollingAcquire(l int) proto.VectorTime {
 		}
 		prim := t.cl.lockHomes.Primary(l)
 		set := &lockSet{Lock: l, Node: n.id}
-		t.postLockMsg(prim, set, 12)
+		t.postLockMsg(prim, set, set.wireBytes())
 		if ft {
-			t.postLockMsg(t.cl.lockHomes.Secondary(l), set, 12)
+			// FT ordering invariant: the secondary's element is posted
+			// before the primary read below, and per-sender FIFO delivers
+			// it first — so by the time the read reply grants the lock,
+			// the secondary replica already records the new holder.
+			t.postLockMsg(t.cl.lockHomes.Secondary(l), set, set.wireBytes())
 		}
 
 		rep, err := t.lockReadVector(l, prim)
@@ -174,9 +186,9 @@ func (t *Thread) pollingAcquire(l int) proto.VectorTime {
 		}
 		// Contended: clear our element and back off.
 		clr := &lockClear{Lock: l, Node: n.id}
-		t.postLockMsg(prim, clr, 12)
+		t.postLockMsg(prim, clr, clr.wireBytes())
 		if ft {
-			t.postLockMsg(t.cl.lockHomes.Secondary(l), clr, 12)
+			t.postLockMsg(t.cl.lockHomes.Secondary(l), clr, clr.wireBytes())
 		}
 		backoff := cfg.LockBackoffMinNs
 		if span := cfg.LockBackoffMaxNs - cfg.LockBackoffMinNs; span > 0 {
@@ -197,8 +209,9 @@ func (t *Thread) lockReadVector(l, prim int) (*lockReadReply, error) {
 		t.charge(CompLock, t.cl.cfg.ProtoOpNs)
 		return lh.readReply(), nil
 	}
+	req := &lockRead{Lock: l}
 	t0 := t.beginWait()
-	v, err := n.ep.RequestAbort(t.proc, prim, 8, &lockRead{Lock: l},
+	v, err := n.ep.RequestAbort(t.proc, prim, req.wireBytes(), req,
 		func() bool { return t.cl.rec.pending })
 	t.endWait(CompLock, t0)
 	if err != nil {
@@ -221,9 +234,10 @@ func (lh *lockHome) readReply() *lockReadReply {
 }
 
 // nicAcquire runs the NIC-assisted lock: one test-and-set round trip to
-// the primary home; on a grant under ModeFT the owner element is also
-// replicated at the secondary home. Contended attempts back off briefly
-// and retry.
+// the primary home. Under ModeFT the primary home's NIC replicates the
+// owner element at the secondary home before the grant reply leaves (see
+// nicTestAndSet) — the acquirer itself never touches the secondary.
+// Contended attempts back off briefly and retry.
 func (t *Thread) nicAcquire(l int) proto.VectorTime {
 	n := t.node
 	cfg := t.cl.cfg
@@ -241,8 +255,9 @@ func (t *Thread) nicAcquire(l int) proto.VectorTime {
 			rep = n.nicTestAndSet(&nicTestSet{Lock: l, Node: n.id})
 			t.charge(CompLock, t.cl.cfg.ProtoOpNs)
 		} else {
+			req := &nicTestSet{Lock: l, Node: n.id}
 			t0 := t.beginWait()
-			v, err := n.ep.RequestAbort(t.proc, prim, 12, &nicTestSet{Lock: l, Node: n.id},
+			v, err := n.ep.RequestAbort(t.proc, prim, req.wireBytes(), req,
 				func() bool { return t.cl.rec.pending })
 			t.endWait(CompLock, t0)
 			if err != nil {
@@ -255,10 +270,6 @@ func (t *Thread) nicAcquire(l int) proto.VectorTime {
 			rep = v.(*nicTestSetReply)
 		}
 		if rep.Granted {
-			if ft {
-				// Replicate the owner element at the secondary home.
-				t.postLockMsg(t.cl.lockHomes.Secondary(l), &lockSet{Lock: l, Node: n.id}, 12)
-			}
 			return rep.VT
 		}
 		backoff := cfg.LockBackoffMinNs / 2
@@ -273,6 +284,16 @@ func (t *Thread) nicAcquire(l int) proto.VectorTime {
 
 // nicTestAndSet is the home-side atomic test-and-set. Runs in engine or
 // process context.
+//
+// Under ModeFT the grant and its replication used to race: the acquirer
+// posted the lockSet to the secondary home only after receiving the
+// grant, so a failure of the acquirer (or of this primary home) in that
+// window left the secondary with no owner element and recovery could
+// grant the lock twice. The primary home's NIC now drives the
+// replication itself, enqueueing the lockSet before the grant reply —
+// per-sender FIFO then guarantees the secondary's element lands before
+// any consequence of the grant is observable, closing the window (the
+// auditor's lock-replication invariant checks exactly this).
 func (n *node) nicTestAndSet(m *nicTestSet) *nicTestSetReply {
 	n.initLockHome(m.Lock)
 	lh := n.lockHomesState[m.Lock]
@@ -282,6 +303,13 @@ func (n *node) nicTestAndSet(m *nicTestSet) *nicTestSetReply {
 		}
 	}
 	lh.vec[m.Node] = true
+	if n.cl.opt.Mode == ModeFT {
+		if sec := n.cl.lockHomes.Secondary(m.Lock); sec != n.id {
+			set := &lockSet{Lock: m.Lock, Node: m.Node}
+			n.sendOrDeliver(sec, set, set.wireBytes())
+		}
+	}
+	n.cl.trace(obs.KLockGrant, n.id, -1, int64(m.Lock))
 	return &nicTestSetReply{Granted: true, VT: lh.vt.Clone()}
 }
 
@@ -300,7 +328,7 @@ func (t *Thread) queueAcquire(l int) proto.VectorTime {
 	} else {
 		t.charge(CompLock, t.cl.cfg.NICPostOverheadNs)
 		t0 := t.beginWait()
-		n.ep.Post(t.proc, home, 12, req)
+		n.ep.Post(t.proc, home, req.wireBytes(), req)
 		t.endWait(CompLock, t0)
 	}
 	t0 := t.beginWait()
@@ -322,17 +350,20 @@ func (n *node) applyLockMsg(src int, payload any) {
 		lh := n.lockHomesState[m.Lock]
 		if lh != nil {
 			lh.vec[m.Node] = true
+			n.cl.trace(obs.KLockSet, n.id, -1, int64(m.Lock))
 		}
 	case *lockClear:
 		lh := n.lockHomesState[m.Lock]
 		if lh != nil {
 			lh.vec[m.Node] = false
+			n.cl.trace(obs.KLockClear, n.id, -1, int64(m.Lock))
 		}
 	case *lockRelease:
 		lh := n.lockHomesState[m.Lock]
 		if lh != nil {
 			lh.vt.Merge(m.VT)
 			lh.vec[m.Node] = false
+			n.cl.trace(obs.KLockClear, n.id, -1, int64(m.Lock))
 		}
 	case *qlAcquire:
 		lh := n.lockHomesState[m.Lock]
@@ -348,7 +379,7 @@ func (n *node) applyLockMsg(src int, payload any) {
 			old := lh.tail
 			lh.tail = m.Requester
 			f := &qlForward{Lock: m.Lock, Requester: m.Requester}
-			n.sendOrDeliver(old, f, 12)
+			n.sendOrDeliver(old, f, f.wireBytes())
 		}
 	case *qlForward:
 		ol := n.lockState(m.Lock)
@@ -361,9 +392,26 @@ func (n *node) applyLockMsg(src int, payload any) {
 			ol.pendingGrant = m.Requester
 		}
 	case *qlGrant:
-		if fut, ok := n.qlWait[m.Lock]; ok && !fut.Done() {
-			fut.Resolve(m)
+		// A grant with no live waiter is unreachable, so a silent drop
+		// here could only mask a protocol bug (the home still records
+		// the requester as tail, so the lock would be stranded forever).
+		// Proof: a grant targets node X only (a) from the home, when X's
+		// qlAcquire found the lock free (tail < 0), or (b) from a
+		// previous holder serving the qlForward the home sent for X's
+		// qlAcquire — exactly one grant per qlAcquire, since the home
+		// either grants or forwards, never both. X posts a qlAcquire
+		// only from queueAcquire, which registers qlWait[l] before
+		// posting and deletes it only after the future resolves; ol.busy
+		// serializes the node's acquires of l, so a second qlAcquire
+		// cannot be posted while the first future is outstanding. The
+		// queue lock has no FT variant (New rejects the combination),
+		// so no failure/migration path can orphan the future either.
+		fut, ok := n.qlWait[m.Lock]
+		if !ok || fut.Done() {
+			panic(fmt.Sprintf("svm: node %d: stray queue-lock grant for lock %d (no pending acquire)", n.id, m.Lock))
 		}
+		n.cl.trace(obs.KLockGrant, n.id, -1, int64(m.Lock))
+		fut.Resolve(m)
 	}
 }
 

@@ -79,6 +79,8 @@ type updatesReq struct {
 	From, To int32
 }
 
+func (m *updatesReq) wireBytes() int { return 16 }
+
 // updatesReply returns the requested update lists.
 type updatesReply struct {
 	Lists []proto.UpdateList
@@ -141,17 +143,23 @@ type lockSet struct {
 	Node int
 }
 
+func (m *lockSet) wireBytes() int { return 12 } // lock id + node + op tag
+
 // lockClear resets a node's element (failed acquire attempt).
 type lockClear struct {
 	Lock int
 	Node int
 }
 
+func (m *lockClear) wireBytes() int { return 12 }
+
 // lockRead fetches the whole lock vector plus the stored release timestamp
 // from the lock's primary home.
 type lockRead struct {
 	Lock int
 }
+
+func (m *lockRead) wireBytes() int { return 8 }
 
 type lockReadReply struct {
 	Holders []int // node ids with a non-zero element
@@ -179,6 +187,8 @@ type nicTestSet struct {
 	Node int
 }
 
+func (m *nicTestSet) wireBytes() int { return 12 }
+
 type nicTestSetReply struct {
 	Granted bool
 	VT      proto.VectorTime
@@ -194,12 +204,16 @@ type qlAcquire struct {
 	Requester int
 }
 
+func (m *qlAcquire) wireBytes() int { return 12 }
+
 // qlForward is sent by the home to the current tail: pass the lock to
 // Requester when you release.
 type qlForward struct {
 	Lock      int
 	Requester int
 }
+
+func (m *qlForward) wireBytes() int { return 12 }
 
 // qlGrant hands the lock (and the release timestamp) to the next holder.
 type qlGrant struct {
@@ -239,6 +253,8 @@ func (m *barRelease) wireBytes() int { return 16 + vecWire(len(m.VT)) + updatesW
 type savedReq struct {
 	Dead int
 }
+
+func (m *savedReq) wireBytes() int { return 8 }
 
 // savedReply returns the backup's replicated state for the dead node.
 type savedReply struct {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 	"ftsvm/internal/sim"
 	"ftsvm/internal/vmmc"
@@ -39,7 +40,7 @@ func (cl *Cluster) KillNode(id int) {
 			t.proc.Kill()
 		}
 	}
-	cl.trace("kill", id, -1, 0)
+	cl.trace(obs.KKill, id, -1, 0)
 }
 
 // reportFailure is called when any thread detects that a node died (a
@@ -66,7 +67,7 @@ func (cl *Cluster) reportFailure(id int) {
 	rec.dead = id
 	rec.arrived = 0
 	rec.claimed = false
-	cl.trace("recovery.start", id, -1, int64(rec.epoch))
+	cl.trace(obs.KRecoveryStart, id, -1, int64(rec.epoch))
 	cl.wakeForRecovery()
 }
 
@@ -223,7 +224,7 @@ func (t *Thread) runRecovery() {
 			}
 		}
 	}
-	cl.trace("recovery.done", dead, t.id, int64(rec.epoch))
+	cl.trace(obs.KRecoveryDone, dead, t.id, int64(rec.epoch))
 	_ = migrated
 }
 
@@ -250,7 +251,7 @@ func (t *Thread) fetchSavedState(dead int) *savedState {
 	}
 	req := &savedReq{Dead: dead}
 	t0 := t.beginWait()
-	v, err := t.node.ep.Request(t.proc, backup, 8, req)
+	v, err := t.node.ep.Request(t.proc, backup, req.wireBytes(), req)
 	t.endWait(CompProtocol, t0)
 	if err != nil {
 		if errors.Is(err, vmmc.ErrNodeDead) {

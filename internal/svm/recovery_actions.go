@@ -2,6 +2,7 @@ package svm
 
 import (
 	"ftsvm/internal/checkpoint"
+	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 )
 
@@ -72,7 +73,7 @@ func (t *Thread) reconcilePages(dead int, saved *savedState) {
 	}
 	// The coordinator drives the copies; charge the pipelined transfer.
 	t.charge(CompProtocol, cfg.TransferNs(bytesMoved))
-	cl.trace("recovery.reconcile", dead, t.id, int64(bytesMoved))
+	cl.trace(obs.KRecoveryReconcile, dead, t.id, int64(bytesMoved))
 }
 
 func ensureHomeCopies(cl *Cluster, pgP, pgS *page) {
@@ -144,14 +145,22 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 		}
 	}
 	t.charge(CompProtocol, cfg.TransferNs(bytesMoved))
-	cl.trace("recovery.rehome", dead, t.id, int64(bytesMoved))
+	cl.trace(obs.KRecoveryRehome, dead, t.id, int64(bytesMoved))
 }
 
-// rebuildLocks reassigns lock homes and reconstructs each lock's state at
-// the new homes: the vector is rebuilt from the live holders (clearing the
-// dead node's element — any lock it held is implicitly released, since its
-// threads replay from before the acquire), and the release timestamp is
-// taken from the surviving home replica.
+// rebuildLocks reassigns lock homes and reconstructs each lock's state
+// at the new homes from the surviving home replica: the primary's
+// vector if the primary survives, else the secondary's (§4.5.1). The
+// replica is then filtered against the acquirer-side state of the live
+// nodes it names — an element whose owner is neither holding nor
+// acquiring the lock is an in-flight release or failed-attempt clear
+// that had not reached this replica, and the dead node's own element is
+// implicitly released (its threads replay from before the acquire).
+// The filter only ever removes elements; it never invents a holder the
+// replica does not record, which is exactly why grants must replicate
+// before they take effect (see nicTestAndSet): a holder missing from
+// both replicas would be resurrected here as a free lock and granted
+// twice. The release timestamp is merged from the surviving replicas.
 func (t *Thread) rebuildLocks(dead int) {
 	cl := t.cl
 	cfg := cl.cfg
@@ -159,6 +168,7 @@ func (t *Thread) rebuildLocks(dead int) {
 
 	// Surviving home state, captured before rehoming.
 	oldVT := make([]proto.VectorTime, nlocks)
+	oldVec := make([][]bool, nlocks)
 	for l := 0; l < nlocks; l++ {
 		vt := proto.NewVector(cfg.Nodes)
 		for _, home := range []int{cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)} {
@@ -167,6 +177,12 @@ func (t *Thread) rebuildLocks(dead int) {
 			}
 			if lh := cl.nodes[home].lockHomesState[l]; lh != nil {
 				vt.Merge(lh.vt)
+				if oldVec[l] == nil {
+					// First surviving replica in primary-then-secondary
+					// order: the authoritative vector. Clone it — the
+					// installs below mutate home state in place.
+					oldVec[l] = append([]bool(nil), lh.vec...)
+				}
 			}
 		}
 		oldVT[l] = vt
@@ -175,12 +191,12 @@ func (t *Thread) rebuildLocks(dead int) {
 
 	for l := 0; l < nlocks; l++ {
 		var holders []int
-		for _, n := range cl.nodes {
-			if n.dead {
+		for i, set := range oldVec[l] {
+			if !set || i == dead || cl.nodes[i].dead {
 				continue
 			}
-			if ol := n.owned[l]; ol != nil && ol.held {
-				holders = append(holders, n.id)
+			if ol := cl.nodes[i].owned[l]; ol != nil && (ol.held || ol.busy) {
+				holders = append(holders, i)
 			}
 		}
 		for _, home := range []int{cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)} {
@@ -189,7 +205,7 @@ func (t *Thread) rebuildLocks(dead int) {
 		}
 		t.charge(CompProtocol, cfg.ProtoOpNs)
 	}
-	cl.trace("recovery.locks", dead, t.id, int64(nlocks))
+	cl.trace(obs.KRecoveryLocks, dead, t.id, int64(nlocks))
 }
 
 // globalSync makes memory globally consistent across the survivors:
@@ -261,7 +277,7 @@ func (t *Thread) globalSync(dead int, saved *savedState) {
 		}
 	}
 	t.charge(CompProtocol, cfg.TransferNs(bytes)+int64(len(all))*cfg.ProtoOpNs)
-	cl.trace("recovery.sync", dead, t.id, int64(len(all)))
+	cl.trace(obs.KRecoverySync, dead, t.id, int64(len(all)))
 }
 
 // invalidateRaw is the node-level invalidation used during recovery (no
@@ -310,7 +326,7 @@ func (t *Thread) migrateThreads(dead int, saved *savedState) int {
 			nt.restoredBlob = snap.Blob
 			nt.ckptSeq = snap.Seq
 			nt.barSeq = snap.BarSeq
-			cl.trace("recovery.restore", backup, old.id, snap.Seq)
+			cl.trace(obs.KRecoveryRestore, backup, old.id, snap.Seq)
 			t.charge(CompProtocol, cl.cfg.CheckpointNs(len(snap.Blob)))
 		}
 		cl.threads[old.id] = nt
@@ -319,6 +335,6 @@ func (t *Thread) migrateThreads(dead int, saved *savedState) int {
 		cl.stats.MigratedThreads++
 		count++
 	}
-	cl.trace("recovery.migrate", dead, t.id, int64(count))
+	cl.trace(obs.KRecoveryMigrate, dead, t.id, int64(count))
 	return count
 }

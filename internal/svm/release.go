@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ftsvm/internal/mem"
+	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 	"ftsvm/internal/vmmc"
 )
@@ -239,7 +240,7 @@ func (t *Thread) releaseBase(afterVisible func()) {
 		panic(fmt.Sprintf("svm: base protocol diff propagation failed: %v", err))
 	}
 	n.releaseSeq++
-	t.cl.trace("release.done", n.id, t.id, n.releaseSeq)
+	t.cl.trace(obs.KReleaseDone, n.id, t.id, n.releaseSeq)
 }
 
 // releaseFT is the extended protocol's release (§4.2, Fig. 2): suspend and
@@ -254,7 +255,7 @@ func (t *Thread) releaseFT(afterVisible func()) {
 
 	t.suspendSiblings()
 	itv, caps := t.commitInterval()
-	t.cl.trace("release.commit", n.id, t.id, n.releaseSeq+1)
+	t.cl.trace(obs.KReleaseCommit, n.id, t.id, n.releaseSeq+1)
 	t.checkpointSiblings()
 	t.resumeSiblings()
 
@@ -273,10 +274,10 @@ func (t *Thread) releaseFT(afterVisible func()) {
 		// Ablation: both copies updated concurrently under one fence —
 		// one round-trip cheaper, no roll-forward/roll-back guarantee.
 		t.propagateSinglePhase(caps, itv)
-		t.cl.trace("release.phase1", n.id, t.id, n.releaseSeq+1)
+		t.cl.trace(obs.KReleasePhase1, n.id, t.id, n.releaseSeq+1)
 		t.saveTimestamp(itv, caps)
-		t.cl.trace("release.savets", n.id, t.id, n.releaseSeq+1)
-		t.cl.trace("release.ckptB", n.id, t.id, n.releaseSeq+1)
+		t.cl.trace(obs.KReleaseSaveTS, n.id, t.id, n.releaseSeq+1)
+		t.cl.trace(obs.KReleaseCkptB, n.id, t.id, n.releaseSeq+1)
 		if afterVisible != nil {
 			afterVisible()
 		}
@@ -290,20 +291,20 @@ func (t *Thread) releaseFT(afterVisible func()) {
 			pg.lockGate.Broadcast()
 		}
 		n.releaseSeq++
-		t.cl.trace("release.done", n.id, t.id, n.releaseSeq)
+		t.cl.trace(obs.KReleaseDone, n.id, t.id, n.releaseSeq)
 		return
 	}
 	if itv != 0 {
 		t.propagatePhase(caps, itv, 1)
-		t.cl.trace("release.phase1", n.id, t.id, n.releaseSeq+1)
+		t.cl.trace(obs.KReleasePhase1, n.id, t.id, n.releaseSeq+1)
 		t.saveTimestamp(itv, caps)
-		t.cl.trace("release.savets", n.id, t.id, n.releaseSeq+1)
+		t.cl.trace(obs.KReleaseSaveTS, n.id, t.id, n.releaseSeq+1)
 	} else {
 		// No updates: no timestamp to arbitrate, but the thread still
 		// checkpoints at this release (point B).
 		t.checkpointSelf()
 	}
-	t.cl.trace("release.ckptB", n.id, t.id, n.releaseSeq+1)
+	t.cl.trace(obs.KReleaseCkptB, n.id, t.id, n.releaseSeq+1)
 
 	if afterVisible != nil {
 		afterVisible()
@@ -318,7 +319,7 @@ func (t *Thread) releaseFT(afterVisible func()) {
 			t.propagatePhase(caps, itv, 1)
 			t.propagatePhase(caps, itv, 2)
 		}
-		t.cl.trace("release.phase2", n.id, t.id, n.releaseSeq+1)
+		t.cl.trace(obs.KReleasePhase2, n.id, t.id, n.releaseSeq+1)
 		for _, c := range caps {
 			pg := n.pt.pages[c.pid]
 			pg.locked = false
@@ -326,7 +327,7 @@ func (t *Thread) releaseFT(afterVisible func()) {
 		}
 	}
 	n.releaseSeq++
-	t.cl.trace("release.done", n.id, t.id, n.releaseSeq)
+	t.cl.trace(obs.KReleaseDone, n.id, t.id, n.releaseSeq)
 }
 
 // postBatches ships aggregated diff batches, one message per destination

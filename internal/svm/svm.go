@@ -6,6 +6,7 @@ import (
 	"ftsvm/internal/checkpoint"
 	"ftsvm/internal/mem"
 	"ftsvm/internal/model"
+	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 	"ftsvm/internal/sim"
 	"ftsvm/internal/vmmc"
@@ -67,10 +68,15 @@ func (a LockAlgo) String() string {
 // TraceEvent is emitted at protocol milestones; failure-injection tests
 // use these to kill nodes inside specific protocol windows.
 type TraceEvent struct {
-	Kind   string // e.g. "release.commit", "release.phase1", "release.savets", "release.ckptB", "release.phase2", "release.done", "ckpt.A", "barrier.arrive", "recovery.done"
+	// Kind names follow internal/obs.Kind.String(): "release.commit",
+	// "release.phase1", "release.savets", "release.ckptB",
+	// "release.phase2", "release.done", "ckpt.A", "barrier.arrive",
+	// "lock.set", "lock.clear", "lock.grant", "lock.held",
+	// "lock.release", "kill", "recovery.*".
+	Kind   string
 	Node   int
 	Thread int
-	Seq    int64 // per-node release count or barrier epoch
+	Seq    int64 // per-node release count, barrier epoch, or lock id
 }
 
 // Tracer receives trace events in simulation context. Implementations may
@@ -143,6 +149,14 @@ type Cluster struct {
 	trackWriters bool
 
 	stats ProtoStats
+
+	// Observability (internal/obs), all nil/off by default so the
+	// benchmark paths pay nothing: flight is the per-node event
+	// recorder, aud the online invariant auditor, auditErr the first
+	// violation it found (surfaced by Run).
+	flight   *obs.Recorder
+	aud      *auditor
+	auditErr error
 }
 
 // node is one SMP node: a set of threads sharing a page table and the
@@ -341,7 +355,13 @@ func (cl *Cluster) Run() error {
 	for _, t := range cl.threads {
 		cl.spawnThread(t)
 	}
-	return cl.eng.Run()
+	err := cl.eng.Run()
+	if cl.auditErr != nil {
+		// The auditor stopped the engine at the faulting event; its
+		// violation is the root cause, not the truncated-run fallout.
+		return cl.auditErr
+	}
+	return err
 }
 
 // spawnThread starts (or restarts, after migration) a thread's body.
@@ -359,11 +379,77 @@ func (cl *Cluster) spawnThread(t *Thread) {
 	})
 }
 
-// trace emits a trace event if a tracer is attached.
-func (cl *Cluster) trace(kind string, nodeID, threadID int, seq int64) {
+// trace emits a protocol milestone to the attached tracer and the
+// flight recorder. Both are nil-guarded and charge no virtual time, so
+// the default (neither enabled) costs two branches and the simulated
+// event stream is identical with or without them.
+func (cl *Cluster) trace(kind obs.Kind, nodeID, threadID int, seq int64) {
 	if cl.opt.Tracer != nil {
-		cl.opt.Tracer.Event(TraceEvent{Kind: kind, Node: nodeID, Thread: threadID, Seq: seq})
+		cl.opt.Tracer.Event(TraceEvent{Kind: kind.String(), Node: nodeID, Thread: threadID, Seq: seq})
 	}
+	if cl.flight != nil {
+		cl.flight.Record(obs.Event{Kind: kind, Node: int32(nodeID), Thread: int32(threadID), Seq: seq})
+	}
+}
+
+// EnableFlightRecorder attaches a per-node flight recorder keeping the
+// last perNode protocol events of every node, stamped with virtual
+// time. Call before Run. Returns the recorder so callers can attach a
+// streaming sink or dump rings post-mortem.
+func (cl *Cluster) EnableFlightRecorder(perNode int) *obs.Recorder {
+	cl.flight = obs.NewRecorder(cl.cfg.Nodes, perNode, cl.eng.Now)
+	return cl.flight
+}
+
+// FlightRecorder returns the attached recorder, or nil.
+func (cl *Cluster) FlightRecorder() *obs.Recorder { return cl.flight }
+
+// Metrics returns the unified counter snapshot: protocol stats,
+// network traffic, and checkpoint counts under dotted prefixes.
+func (cl *Cluster) Metrics() obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Add("svm", func() []obs.Counter {
+		s := cl.stats
+		return []obs.Counter{
+			{Name: "read_faults", Value: s.ReadFaults},
+			{Name: "remote_fetches", Value: s.RemoteFetches},
+			{Name: "local_fetches", Value: s.LocalFetches},
+			{Name: "write_faults", Value: s.WriteFaults},
+			{Name: "pages_diffed", Value: s.PagesDiffed},
+			{Name: "home_pages_diffed", Value: s.HomePagesDiffed},
+			{Name: "diff_msgs", Value: s.DiffMsgs},
+			{Name: "diff_bytes", Value: s.DiffBytes},
+			{Name: "invalidations", Value: s.Invalidations},
+			{Name: "intervals", Value: s.Intervals},
+			{Name: "deferred_words", Value: s.DeferredWords},
+			{Name: "remote_acquires", Value: s.RemoteAcquires},
+			{Name: "intra_node_handoffs", Value: s.IntraNodeHandoffs},
+			{Name: "barrier_episodes", Value: s.BarrierEpisodes},
+			{Name: "recoveries", Value: s.Recoveries},
+			{Name: "migrated_threads", Value: s.MigratedThreads},
+		}
+	})
+	reg.Add("ckpt", func() []obs.Counter {
+		return []obs.Counter{{Name: "checkpoints", Value: cl.ckptCount}}
+	})
+	reg.Add("vmmc", func() []obs.Counter {
+		var sum vmmc.Stats
+		for i := range cl.nodes {
+			st := cl.net.Endpoint(i).Stats()
+			sum.MsgsSent += st.MsgsSent
+			sum.BytesSent += st.BytesSent
+			sum.MsgsReceived += st.MsgsReceived
+			sum.PostStallsNs += st.PostStallsNs
+		}
+		return []obs.Counter{
+			{Name: "msgs_sent", Value: sum.MsgsSent},
+			{Name: "bytes_sent", Value: sum.BytesSent},
+			{Name: "msgs_received", Value: sum.MsgsReceived},
+			{Name: "post_stalls_ns", Value: sum.PostStallsNs},
+			{Name: "retransmits", Value: cl.net.Retransmits},
+		}
+	})
+	return reg.Snapshot()
 }
 
 // backupOf returns the node that stores checkpoints and saved timestamps

@@ -413,3 +413,42 @@ func TestRequestsSurviveDrops(t *testing.T) {
 		t.Fatalf("sum = %d, want 55", sum)
 	}
 }
+
+// TestDropEveryPacketOnce is the retransmission-livelock regression: with
+// dropNth=1, every packet's *first* transmission is dropped. Before
+// retransmissions were exempted from the drop counter, the retransmitted
+// copy re-entered the same counter, was dropped again, and the simulation
+// spun forever without advancing any payload. Now each message is dropped
+// exactly once and delivered on its retransmission.
+func TestDropEveryPacketOnce(t *testing.T) {
+	cfg := model.Default()
+	cfg.Nodes = 2
+	eng := sim.New(1)
+	net := New(eng, &cfg)
+	net.SetDropEveryNth(1)
+	var got []int
+	net.Endpoint(1).SetHandler(func(d *Delivery) { got = append(got, d.Payload.(int)) })
+	net.Endpoint(0).SetHandler(func(d *Delivery) {})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			net.Endpoint(0).Post(p, 1, 64, i)
+		}
+		if err := net.Endpoint(0).Fence(p); err != nil {
+			t.Errorf("Fence: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: %v", got)
+		}
+	}
+	if net.Retransmits != 10 {
+		t.Fatalf("Retransmits = %d, want exactly 10 (each packet dropped once)", net.Retransmits)
+	}
+}
