@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
 	"ftsvm/internal/svm"
 )
 
@@ -32,8 +33,11 @@ type benchCell struct {
 // benchReport is the machine-readable artifact written by -json and read
 // back by -compare.
 type benchReport struct {
-	Size        string      `json:"size"`
-	Nodes       int         `json:"nodes"`
+	Size  string `json:"size"`
+	Nodes int    `json:"nodes"`
+	// Detection is the failure-detector mode the grid ran with; absent
+	// (older reports) means oracle.
+	Detection   string      `json:"detection,omitempty"`
 	GoMaxProcs  int         `json:"gomaxprocs"`
 	TotalWallMs float64     `json:"total_wall_ms"`
 	AllocBytes  uint64      `json:"alloc_bytes"`
@@ -42,13 +46,14 @@ type benchReport struct {
 }
 
 // benchGrid is the app x mode x {1,2 threads} grid the figures run.
-func benchGrid(sz harness.Size, nodes int) []harness.Config {
+func benchGrid(sz harness.Size, nodes int, det model.DetectionMode) []harness.Config {
 	var cells []harness.Config
 	for _, tpn := range []int{1, 2} {
 		for _, app := range harness.AppNames {
 			for _, mode := range []svm.Mode{svm.ModeBase, svm.ModeFT} {
 				cells = append(cells, harness.Config{
 					App: app, Size: sz, Mode: mode, Nodes: nodes, ThreadsPerNode: tpn,
+					Detection: det,
 				})
 			}
 		}
@@ -57,8 +62,8 @@ func benchGrid(sz harness.Size, nodes int) []harness.Config {
 }
 
 // runBenchJSON runs the figure grid and writes the report to path.
-func runBenchJSON(path string, sz harness.Size, nodes int) error {
-	cells := benchGrid(sz, nodes)
+func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMode) error {
+	cells := benchGrid(sz, nodes, det)
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
@@ -70,6 +75,7 @@ func runBenchJSON(path string, sz harness.Size, nodes int) error {
 	rep := benchReport{
 		Size:        string(sz),
 		Nodes:       nodes,
+		Detection:   det.String(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		TotalWallMs: float64(wall) / 1e6,
 		AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
@@ -117,6 +123,12 @@ func runBenchCompare(oldPath string) error {
 	if err := json.Unmarshal(blob, &old); err != nil {
 		return fmt.Errorf("%s: %w", oldPath, err)
 	}
+	det := model.DetectOracle
+	if old.Detection != "" {
+		if det, err = model.ParseDetection(old.Detection); err != nil {
+			return fmt.Errorf("%s: %w", oldPath, err)
+		}
+	}
 	cells := make([]harness.Config, len(old.Cells))
 	for i, c := range old.Cells {
 		mode := svm.ModeBase
@@ -126,6 +138,7 @@ func runBenchCompare(oldPath string) error {
 		cells[i] = harness.Config{
 			App: c.App, Size: harness.Size(old.Size), Mode: mode,
 			Nodes: c.Nodes, ThreadsPerNode: c.ThreadsPerNode,
+			Detection: det,
 		}
 	}
 	start := time.Now()

@@ -36,13 +36,19 @@ func main() {
 	nodes := flag.Int("nodes", 8, "cluster nodes")
 	jsonOut := flag.String("json", "", "run the figure grid and write a machine-readable report to this file")
 	compare := flag.String("compare", "", "re-run the grid recorded in this report and print per-cell deltas")
+	detect := flag.String("detect", "oracle", "failure detection for -json grids and the detection ablation's clean runs: oracle, probe")
 	flag.Parse()
 
 	sz := harness.Size(*size)
 	out := os.Stdout
+	det, err := model.ParseDetection(*detect)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut, sz, *nodes); err != nil {
+		if err := runBenchJSON(*jsonOut, sz, *nodes, det); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -311,29 +317,37 @@ func ablationPageSize(sz harness.Size, nodes int) {
 }
 
 // ablationDetection sweeps the failure-detection (heartbeat probe)
-// timeout: detection latency is pure added downtime before recovery can
-// start, so completion time under a failure should grow roughly linearly
-// with the timeout while the failure-free run is unaffected.
+// timeout under both detector implementations. Oracle mode measures only
+// the timeout constant (detection is free and instantaneous once a wait
+// expires); probe mode pays for real probe/ack traffic and needs
+// ProbeMissLimit consecutive misses before recovery may start, so it
+// reports the actual probe message count, the measured kill-to-recovery
+// detection latency, and the detector's false-suspicion margin.
 func ablationDetection(sz harness.Size, nodes int) {
-	fmt.Printf("Ablation: failure-detection timeout (extended protocol, FFT + mid-run failure, %d nodes x 1, size=%s)\n", nodes, sz)
-	fmt.Printf("%12s %14s %14s\n", "timeout ms", "no-failure ms", "failure ms")
-	for _, tmo := range []int64{500_000, 2_000_000, 8_000_000, 32_000_000} {
-		tmo := tmo
-		ov := func(c *model.Config) { c.HeartbeatTimeoutNs = tmo }
-		clean := harness.Run(harness.Config{
-			App: "fft", Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1, Overrides: ov,
-		})
-		if clean.Err != nil {
-			fmt.Printf("%12.1f ERROR: %v\n", float64(tmo)/1e6, clean.Err)
-			continue
+	fmt.Printf("Ablation: failure detection (extended protocol, FFT + mid-run failure, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%-8s %12s %14s %14s %11s %8s %8s %11s\n",
+		"detect", "timeout ms", "no-failure ms", "failure ms", "detect ms", "probes", "acks", "false susp")
+	for _, det := range []model.DetectionMode{model.DetectOracle, model.DetectProbe} {
+		for _, tmo := range []int64{500_000, 2_000_000, 8_000_000, 32_000_000} {
+			tmo := tmo
+			ov := func(c *model.Config) { c.HeartbeatTimeoutNs = tmo }
+			clean := harness.Run(harness.Config{
+				App: "fft", Size: sz, Mode: svm.ModeFT, Nodes: nodes, ThreadsPerNode: 1,
+				Detection: det, Overrides: ov,
+			})
+			if clean.Err != nil {
+				fmt.Printf("%-8s %12.1f ERROR: %v\n", det, float64(tmo)/1e6, clean.Err)
+				continue
+			}
+			failed, ks := runWithKill("fft", sz, nodes, clean.ExecNs/3, det, ov)
+			if failed.Err != nil {
+				fmt.Printf("%-8s %12.1f %14.1f ERROR: %v\n", det, float64(tmo)/1e6, float64(clean.ExecNs)/1e6, failed.Err)
+				continue
+			}
+			fmt.Printf("%-8s %12.1f %14.1f %14.1f %11.2f %8d %8d %11d\n",
+				det, float64(tmo)/1e6, float64(clean.ExecNs)/1e6, float64(failed.ExecNs)/1e6,
+				float64(ks.detectNs-ks.killNs)/1e6, ks.probes, ks.acks, ks.falseSusp)
 		}
-		failed := runWithKill("fft", sz, nodes, clean.ExecNs/3, ov)
-		if failed.Err != nil {
-			fmt.Printf("%12.1f %14.1f ERROR: %v\n", float64(tmo)/1e6, float64(clean.ExecNs)/1e6, failed.Err)
-			continue
-		}
-		fmt.Printf("%12.1f %14.1f %14.1f\n", float64(tmo)/1e6,
-			float64(clean.ExecNs)/1e6, float64(failed.ExecNs)/1e6)
 	}
 }
 
@@ -349,7 +363,7 @@ func ablationRecovery(sz harness.Size, nodes int) {
 			fmt.Printf("%-14s ERROR: %v\n", app, clean.Err)
 			continue
 		}
-		failed := runWithKill(app, sz, nodes, clean.ExecNs/3, nil)
+		failed, _ := runWithKill(app, sz, nodes, clean.ExecNs/3, model.DetectOracle, nil)
 		if failed.Err != nil {
 			fmt.Printf("%-14s %14.1f ERROR: %v\n", app, float64(clean.ExecNs)/1e6, failed.Err)
 			continue
@@ -359,34 +373,76 @@ func ablationRecovery(sz harness.Size, nodes int) {
 	}
 }
 
-func runWithKill(app string, sz harness.Size, nodes int, killAt int64, override func(*model.Config)) harness.Result {
+// killStats captures what the failure-injection run revealed about the
+// detector: the virtual kill and recovery-start times plus the probe
+// traffic the detection cost on the wire.
+type killStats struct {
+	killNs    int64
+	detectNs  int64 // virtual time recovery started (0: never)
+	probes    int64
+	acks      int64
+	falseSusp int64
+}
+
+// recoveryClock is a tracer stamping the kill and the first recovery.start
+// with virtual time.
+type recoveryClock struct {
+	cl      *svm.Cluster
+	killNs  int64
+	startNs int64
+}
+
+func (r *recoveryClock) Event(e svm.TraceEvent) {
+	switch e.Kind {
+	case "kill":
+		if r.killNs == 0 {
+			r.killNs = r.cl.Engine().Now()
+		}
+	case "recovery.start":
+		if r.startNs == 0 {
+			r.startNs = r.cl.Engine().Now()
+		}
+	}
+}
+
+func runWithKill(app string, sz harness.Size, nodes int, killAt int64, det model.DetectionMode, override func(*model.Config)) (harness.Result, killStats) {
 	cfg := model.Default()
 	cfg.Nodes = nodes
 	cfg.ThreadsPerNode = 1
+	cfg.Detection = det
 	if override != nil {
 		override(&cfg)
 	}
 	s := apps.Shape{Nodes: nodes, ThreadsPerNode: 1, PageSize: cfg.PageSize}
 	w, err := harness.Build(app, sz, s)
 	if err != nil {
-		return harness.Result{Err: err}
+		return harness.Result{Err: err}, killStats{}
 	}
+	clock := &recoveryClock{}
 	cl, err := svm.New(svm.Options{
 		Config: cfg, Mode: svm.ModeFT, Pages: w.Pages, Locks: w.Locks,
-		HomeAssign: w.HomeAssign, Body: w.Body,
+		HomeAssign: w.HomeAssign, Body: w.Body, Tracer: clock,
 	})
 	if err != nil {
-		return harness.Result{Err: err}
+		return harness.Result{Err: err}, killStats{}
+	}
+	clock.cl = cl
+	ks := func() killStats {
+		return killStats{
+			killNs: clock.killNs, detectNs: clock.startNs,
+			probes: cl.Network().ProbesSent, acks: cl.Network().ProbeAcks,
+			falseSusp: cl.Network().FalseSuspicions,
+		}
 	}
 	cl.Engine().At(killAt, func() { cl.KillNode(1 + int(killAt)%(nodes-1)) })
 	if err := cl.Run(); err != nil {
-		return harness.Result{Err: err}
+		return harness.Result{Err: err}, ks()
 	}
 	if !cl.Finished() {
-		return harness.Result{Err: fmt.Errorf("did not finish after failure")}
+		return harness.Result{Err: fmt.Errorf("did not finish after failure")}, ks()
 	}
 	if err := w.Err(); err != nil {
-		return harness.Result{Err: fmt.Errorf("verification failed: %w", err)}
+		return harness.Result{Err: fmt.Errorf("verification failed: %w", err)}, ks()
 	}
-	return harness.Result{ExecNs: cl.ExecTime()}
+	return harness.Result{ExecNs: cl.ExecTime()}, ks()
 }

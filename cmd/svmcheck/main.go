@@ -64,6 +64,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	tpn := flag.Int("threads", 1, "threads per node")
 	lock := flag.String("lock", "polling", "lock algorithm: polling, nic")
+	detect := flag.String("detect", "probe", "failure detection: probe (honest probe/ack traffic), oracle")
 	seqsFlag := flag.String("seqs", "1,3,5", "comma-separated release/barrier sequence numbers to target (0: any)")
 	milestonesFlag := flag.String("milestones", strings.Join(defaultMilestones, ","), "comma-separated protocol milestones")
 	stride := flag.Int("audit-stride", 16, "invariant-auditor page-sweep stride (1: every event)")
@@ -81,6 +82,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -lock %q: the extended protocol supports polling and nic\n", *lock)
 		os.Exit(2)
 	}
+	det, err := model.ParseDetection(*detect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var seqs []int64
 	for _, f := range strings.Split(*seqsFlag, ",") {
 		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
@@ -92,11 +98,11 @@ func main() {
 	}
 	milestones := strings.Split(*milestonesFlag, ",")
 
-	fmt.Printf("svmcheck: %s size=%s, %d nodes x %d thread(s), %s lock; %d milestones x %d victims x %d seqs\n",
-		*app, *size, *nodes, *tpn, *lock, len(milestones), *nodes, len(seqs))
+	fmt.Printf("svmcheck: %s size=%s, %d nodes x %d thread(s), %s lock, %s detection; %d milestones x %d victims x %d seqs\n",
+		*app, *size, *nodes, *tpn, *lock, det, len(milestones), *nodes, len(seqs))
 
 	sch := schedule{app: *app, size: harness.Size(*size), nodes: *nodes, tpn: *tpn,
-		algo: algo, stride: *stride, ring: *ring}
+		algo: algo, det: det, stride: *stride, ring: *ring}
 	ran, unreachable, failed := 0, 0, 0
 	for _, kind := range milestones {
 		kind = strings.TrimSpace(kind)
@@ -134,6 +140,7 @@ type schedule struct {
 	nodes  int
 	tpn    int
 	algo   svm.LockAlgo
+	det    model.DetectionMode
 	stride int
 	ring   int
 }
@@ -145,6 +152,7 @@ func (s schedule) run(kind string, victim int, seq int64) (reached bool, err err
 	cfg := model.Default()
 	cfg.Nodes = s.nodes
 	cfg.ThreadsPerNode = s.tpn
+	cfg.Detection = s.det
 	shape := apps.Shape{Nodes: s.nodes, ThreadsPerNode: s.tpn, PageSize: cfg.PageSize}
 	w, err := harness.Build(s.app, s.size, shape)
 	if err != nil {

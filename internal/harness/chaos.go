@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+
+	"ftsvm/internal/model"
+)
+
+// ChaosScenario is one named, deterministic fault profile of the simulated
+// network. Scenarios are self-contained model.Chaos blocks: plug one into
+// Config.Chaos (or model.Config.Chaos directly) and the same seed replays
+// the same jitter, degradation windows, bursts, and gray nodes every run.
+type ChaosScenario struct {
+	Name  string
+	Desc  string
+	Chaos model.Chaos
+}
+
+// ChaosScenarios returns the standard sweep the chaos harness runs. The
+// time constants are sized against the default cost model (8 µs link
+// latency, 2 ms heartbeat period, 200 µs probe timeout): severe enough to
+// stress retransmission, FIFO recovery, and the probe detector's
+// false-suspicion margin, but bounded so every window heals and the run
+// terminates.
+func ChaosScenarios() []ChaosScenario {
+	return []ChaosScenario{
+		{
+			Name: "none", Desc: "fault-free network (control)",
+			Chaos: model.Chaos{BurstSrc: -1, BurstDst: -1},
+		},
+		{
+			Name: "jitter", Desc: "uniform 0-20us latency jitter on every link",
+			Chaos: model.Chaos{Enabled: true, Seed: 11, JitterNs: 20_000,
+				BurstSrc: -1, BurstDst: -1},
+		},
+		{
+			Name: "degrade", Desc: "4x bandwidth degradation 0.5ms out of every 2ms",
+			Chaos: model.Chaos{Enabled: true, Seed: 12,
+				DegradePeriodNs: 2_000_000, DegradeLenNs: 500_000, DegradeFactor: 4,
+				BurstSrc: -1, BurstDst: -1},
+		},
+		{
+			Name: "burst", Desc: "150us full-loss burst every 5ms on every link",
+			Chaos: model.Chaos{Enabled: true, Seed: 13,
+				BurstStartNs: 1_000_000, BurstLenNs: 150_000, BurstPeriodNs: 5_000_000,
+				BurstSrc: -1, BurstDst: -1},
+		},
+		{
+			Name: "gray", Desc: "node 1 has a 6x slower NIC (gray node)",
+			Chaos: model.Chaos{Enabled: true, Seed: 14,
+				GrayNodes: []int{1}, GrayFactor: 6,
+				BurstSrc: -1, BurstDst: -1},
+		},
+		{
+			Name: "storm", Desc: "jitter + degradation + bursts + a gray node at once",
+			Chaos: model.Chaos{Enabled: true, Seed: 15, JitterNs: 20_000,
+				DegradePeriodNs: 2_000_000, DegradeLenNs: 500_000, DegradeFactor: 4,
+				BurstStartNs: 1_000_000, BurstLenNs: 150_000, BurstPeriodNs: 5_000_000,
+				BurstSrc: -1, BurstDst: -1,
+				GrayNodes: []int{1}, GrayFactor: 6},
+		},
+	}
+}
+
+// ChaosByName returns the named scenario.
+func ChaosByName(name string) (ChaosScenario, error) {
+	for _, sc := range ChaosScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return ChaosScenario{}, fmt.Errorf("harness: unknown chaos scenario %q", name)
+}

@@ -88,6 +88,13 @@ type Config struct {
 	// UnsafeSinglePhase collapses the two propagation phases (ablation:
 	// the price of failure atomicity).
 	UnsafeSinglePhase bool
+	// Detection selects the failure detector: the zero value is the free
+	// oracle (seed behavior); model.DetectProbe pays for real probe/ack
+	// traffic.
+	Detection model.DetectionMode
+	// Chaos, when non-nil, replaces the cost model's (disabled) chaos
+	// block — usually one of ChaosScenarios.
+	Chaos *model.Chaos
 	// Overrides tweaks the cost model before the run (ablations).
 	Overrides func(*model.Config)
 }
@@ -169,6 +176,10 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 	cfg := model.Default()
 	cfg.Nodes = c.Nodes
 	cfg.ThreadsPerNode = c.ThreadsPerNode
+	cfg.Detection = c.Detection
+	if c.Chaos != nil {
+		cfg.Chaos = *c.Chaos
+	}
 	if c.Overrides != nil {
 		c.Overrides(&cfg)
 	}

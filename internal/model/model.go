@@ -52,10 +52,136 @@ type Config struct {
 	LockBackoffMaxNs int64 // polling-lock retry backoff upper bound
 
 	// Failure detection.
-	HeartbeatTimeoutNs int64 // spin period between liveness probes while waiting
+	HeartbeatTimeoutNs int64         // spin period between liveness probes while waiting
+	Detection          DetectionMode // how waiting processes decide a peer is dead
+	ProbeTimeoutNs     int64         // probe-mode: wait this long for a probe ack before counting a miss
+	ProbeMissLimit     int           // probe-mode: consecutive missed probes before a suspicion is confirmed
+
+	// Retransmission. 0 means derived per message: 4*LinkLatencyNs plus
+	// twice the serialization time (size * BandwidthNsPerByte), so a lost
+	// 4 KB diff is not declared missing before its DMA could have finished.
+	RetxTimeoutNs int64
+
+	// Network chaos (all zero / disabled by default).
+	Chaos Chaos
 
 	// Simulation.
 	Seed int64
+}
+
+// DetectionMode selects how the cluster decides a peer has failed.
+type DetectionMode int
+
+const (
+	// DetectOracle consults the network's ground truth directly (free,
+	// instantaneous, never wrong). This is the seed behavior and keeps the
+	// figure grid bit-identical.
+	DetectOracle DetectionMode = iota
+	// DetectProbe sends real probe messages through the simulated NIC:
+	// probes pay post overhead, NIC occupancy, wire latency, and bytes, and
+	// a node is declared dead only after ProbeMissLimit consecutive probes
+	// go unacknowledged.
+	DetectProbe
+)
+
+// String returns the flag spelling of the mode.
+func (m DetectionMode) String() string {
+	switch m {
+	case DetectOracle:
+		return "oracle"
+	case DetectProbe:
+		return "probe"
+	}
+	return fmt.Sprintf("DetectionMode(%d)", int(m))
+}
+
+// ParseDetection parses a -detect flag value.
+func ParseDetection(s string) (DetectionMode, error) {
+	switch s {
+	case "oracle":
+		return DetectOracle, nil
+	case "probe":
+		return DetectProbe, nil
+	}
+	return 0, fmt.Errorf("model: unknown detection mode %q (want oracle or probe)", s)
+}
+
+// Chaos configures the deterministic per-link fault layer of the simulated
+// network. All injections replay identically for a given Seed; the zero
+// value disables everything.
+type Chaos struct {
+	Enabled bool
+	Seed    int64 // chaos RNG seed, independent of Config.Seed
+
+	// JitterNs adds a uniform [0, JitterNs) delay to each message's wire
+	// latency. Per-sender FIFO delivery is preserved (delivery times are
+	// clamped monotone per sender), because protocol invariants such as
+	// lock-grant replication ordering depend on it.
+	JitterNs int64
+
+	// Bandwidth degradation windows: every DegradePeriodNs, the DMA
+	// bandwidth term of every NIC is multiplied by DegradeFactor for
+	// DegradeLenNs.
+	DegradePeriodNs int64
+	DegradeLenNs    int64
+	DegradeFactor   float64 // >= 1; 0 or 1 means no slowdown
+
+	// Burst loss: packets put on the wire while a burst window is active
+	// are dropped (and retransmitted by the NIC after the retransmission
+	// timeout, head-of-line blocking the sender — so a burst is pure added
+	// latency to upper layers, never silent loss). Windows start at
+	// BurstStartNs and last BurstLenNs; if BurstPeriodNs > 0 they repeat
+	// with that period, otherwise there is a single window.
+	BurstStartNs  int64
+	BurstLenNs    int64
+	BurstPeriodNs int64
+	BurstSrc      int // limit to this sender node (-1: any)
+	BurstDst      int // limit to this destination node (-1: any)
+
+	// Gray nodes: slow NICs. Both the per-message drain overhead and the
+	// DMA time of the listed nodes are multiplied by GrayFactor.
+	GrayNodes  []int
+	GrayFactor float64 // >= 1; 0 or 1 means no slowdown
+}
+
+// DegradeActive reports whether a degradation window covers virtual time t.
+func (ch *Chaos) DegradeActive(t int64) bool {
+	if !ch.Enabled || ch.DegradeLenNs <= 0 || ch.DegradePeriodNs <= 0 || ch.DegradeFactor <= 1 {
+		return false
+	}
+	return t%ch.DegradePeriodNs < ch.DegradeLenNs
+}
+
+// BurstActive reports whether a burst-loss window covers virtual time t for
+// a packet from src to dst.
+func (ch *Chaos) BurstActive(t int64, src, dst int) bool {
+	if !ch.Enabled || ch.BurstLenNs <= 0 || t < ch.BurstStartNs {
+		return false
+	}
+	if ch.BurstSrc >= 0 && src != ch.BurstSrc {
+		return false
+	}
+	if ch.BurstDst >= 0 && dst != ch.BurstDst {
+		return false
+	}
+	off := t - ch.BurstStartNs
+	if ch.BurstPeriodNs > 0 {
+		off %= ch.BurstPeriodNs
+	}
+	return off < ch.BurstLenNs
+}
+
+// Gray reports whether node i has a chaos-degraded (slow) NIC.
+func (ch *Chaos) Gray(i int) bool {
+	if !ch.Enabled || ch.GrayFactor <= 1 {
+		return false
+	}
+	for _, g := range ch.GrayNodes {
+		if g == i {
+			return true
+		}
+	}
+	return false
 }
 
 // Default returns the paper-calibrated configuration: 8 nodes, 1 thread per
@@ -91,9 +217,27 @@ func Default() Config {
 		LockBackoffMaxNs: 40_000,
 
 		HeartbeatTimeoutNs: 2_000_000, // 2 ms
+		Detection:          DetectOracle,
+		ProbeTimeoutNs:     200_000, // 200 µs: >> probe RTT, << heartbeat period
+		ProbeMissLimit:     2,
+
+		RetxTimeoutNs: 0, // derived per message size
+
+		Chaos: Chaos{BurstSrc: -1, BurstDst: -1},
 
 		Seed: 1,
 	}
+}
+
+// RetxTimeout returns the NIC retransmission timeout for a message of size
+// bytes: RetxTimeoutNs if configured, otherwise derived from the round-trip
+// latency plus twice the serialization time, so large diff messages are not
+// declared lost while their DMA is still plausibly in progress.
+func (c *Config) RetxTimeout(size int) int64 {
+	if c.RetxTimeoutNs > 0 {
+		return c.RetxTimeoutNs
+	}
+	return 4*c.LinkLatencyNs + 2*int64(float64(size)*c.BandwidthNsPerByte)
 }
 
 // Validate reports the first structural problem with the configuration.
@@ -113,6 +257,39 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: HeartbeatTimeoutNs must be positive")
 	case c.LockBackoffMaxNs < c.LockBackoffMinNs:
 		return fmt.Errorf("model: lock backoff max < min")
+	case c.Detection != DetectOracle && c.Detection != DetectProbe:
+		return fmt.Errorf("model: unknown Detection mode %d", int(c.Detection))
+	case c.RetxTimeoutNs < 0:
+		return fmt.Errorf("model: RetxTimeoutNs = %d, need >= 0 (0: derived)", c.RetxTimeoutNs)
+	}
+	if c.Detection == DetectProbe {
+		if c.ProbeTimeoutNs <= 0 {
+			return fmt.Errorf("model: probe detection needs ProbeTimeoutNs > 0")
+		}
+		if c.ProbeMissLimit < 1 {
+			return fmt.Errorf("model: probe detection needs ProbeMissLimit >= 1")
+		}
+	}
+	if ch := &c.Chaos; ch.Enabled {
+		switch {
+		case ch.JitterNs < 0:
+			return fmt.Errorf("model: Chaos.JitterNs = %d, need >= 0", ch.JitterNs)
+		case ch.DegradeLenNs > 0 && ch.DegradePeriodNs < ch.DegradeLenNs:
+			return fmt.Errorf("model: Chaos degrade window longer than its period")
+		case ch.DegradeLenNs > 0 && ch.DegradeFactor < 1:
+			return fmt.Errorf("model: Chaos.DegradeFactor = %g, need >= 1", ch.DegradeFactor)
+		case ch.BurstLenNs > 0 && ch.BurstPeriodNs > 0 && ch.BurstPeriodNs <= ch.BurstLenNs:
+			return fmt.Errorf("model: Chaos burst window covers its whole period — the network would never heal")
+		case ch.BurstSrc >= c.Nodes || ch.BurstDst >= c.Nodes:
+			return fmt.Errorf("model: Chaos burst endpoint out of range")
+		case len(ch.GrayNodes) > 0 && ch.GrayFactor < 1:
+			return fmt.Errorf("model: Chaos.GrayFactor = %g, need >= 1", ch.GrayFactor)
+		}
+		for _, g := range ch.GrayNodes {
+			if g < 0 || g >= c.Nodes {
+				return fmt.Errorf("model: Chaos gray node %d out of range", g)
+			}
+		}
 	}
 	// Diff geometry: the word size must divide the page size, or the diff
 	// engine would silently mis-handle the tail of every page.

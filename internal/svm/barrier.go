@@ -1,6 +1,7 @@
 package svm
 
 import (
+	"ftsvm/internal/model"
 	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 )
@@ -163,11 +164,31 @@ func (n *node) deliverBarRelease(rel *barRelease) {
 
 // probeCluster checks every node's liveness; a dead node found outside a
 // communication error (e.g. while waiting at a barrier) is reported to the
-// failure machinery. This is the heartbeat of §4.1.
+// failure machinery. This is the heartbeat of §4.1: in oracle mode a free
+// ground-truth sweep (the seed behavior), in probe mode one real
+// probe/ack round per suspect through the NIC, with a failure reported
+// only once the detector has confirmed ProbeMissLimit consecutive misses.
 func (t *Thread) probeCluster() {
-	for i, nd := range t.cl.nodes {
-		if !nd.excluded && !t.cl.net.Alive(i) {
-			t.cl.reportFailure(i)
+	cl := t.cl
+	if cl.cfg.Detection != model.DetectProbe {
+		for i, nd := range cl.nodes {
+			if !nd.excluded && !cl.net.Alive(i) {
+				cl.reportFailure(i)
+			}
+		}
+		return
+	}
+	n := t.node
+	for i, nd := range cl.nodes {
+		if nd.excluded || i == n.id {
+			continue
+		}
+		t.charge(CompProtocol, cl.cfg.NICPostOverheadNs)
+		t0 := t.beginWait()
+		alive := n.ep.DetectRound(t.proc, i)
+		t.endWait(CompProtocol, t0)
+		if !alive {
+			cl.reportFailure(i)
 		}
 	}
 }

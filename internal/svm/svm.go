@@ -447,6 +447,10 @@ func (cl *Cluster) Metrics() obs.Snapshot {
 			{Name: "msgs_received", Value: sum.MsgsReceived},
 			{Name: "post_stalls_ns", Value: sum.PostStallsNs},
 			{Name: "retransmits", Value: cl.net.Retransmits},
+			{Name: "retx_bytes", Value: cl.net.RetxBytes},
+			{Name: "probes_sent", Value: cl.net.ProbesSent},
+			{Name: "probe_acks", Value: cl.net.ProbeAcks},
+			{Name: "false_suspicions", Value: cl.net.FalseSuspicions},
 		}
 	})
 	return reg.Snapshot()

@@ -1,0 +1,99 @@
+package vmmc
+
+import (
+	"ftsvm/internal/model"
+	"ftsvm/internal/sim"
+)
+
+// Probe-mode failure detection (paper §4.1): instead of consulting the
+// simulator's ground truth, a waiting process sends a real probe message
+// through its NIC and waits for the destination NIC's acknowledgement.
+// Probes are system-class — they bypass the post-queue depth limit and the
+// fence, but pay post overhead, NIC drain occupancy, wire latency, and
+// bytes like any other message — so detection traffic shows up in every
+// contention and volume figure. A node is declared dead only after
+// ProbeMissLimit consecutive probes go unacknowledged; a miss streak that
+// reaches the limit while the peer is in fact alive (acks lost to chaos or
+// stuck behind a slow NIC) is vetoed and counted in FalseSuspicions
+// instead of being confirmed, preserving the fail-stop assumption the
+// recovery protocol is built on (see DESIGN.md §6).
+
+// probeMsg is a liveness probe; the receiving NIC answers with probeAck
+// without involving the destination processor.
+type probeMsg struct{ seq uint64 }
+
+// probeAck acknowledges the probe with the same sequence number.
+type probeAck struct{ seq uint64 }
+
+// probeSizeBytes is the modeled wire size of a probe or its ack.
+const probeSizeBytes = 16 + MsgHeaderBytes
+
+// retxGiveUpTries is how many retransmission timeouts the NIC burns before
+// declaring a posted message undeliverable in probe mode. Oracle mode
+// reports dead destinations instantly (the seed behavior).
+const retxGiveUpTries = 4
+
+// probeRound sends one probe to dst and blocks the calling process until
+// the ack arrives or ProbeTimeoutNs elapses. Reports whether the ack made
+// it back in time; late acks are discarded.
+func (ep *Endpoint) probeRound(p *sim.Proc, dst int) bool {
+	n := ep.net
+	ep.probeSeq++
+	seq := ep.probeSeq
+	fut := n.eng.NewFuture()
+	if ep.probeWait == nil {
+		ep.probeWait = make(map[uint64]*sim.Future)
+	}
+	ep.probeWait[seq] = fut
+	n.ProbesSent++
+	ep.enqueue(outMsg{dst: dst, size: probeSizeBytes, payload: probeMsg{seq: seq}, system: true, probe: true})
+	_, _, ok := p.AwaitTimeout(fut, n.cfg.ProbeTimeoutNs)
+	if !ok {
+		delete(ep.probeWait, seq)
+	}
+	return ok
+}
+
+// DetectRound runs one liveness check of dst from this endpoint and
+// reports whether dst should still be treated as alive. In oracle mode it
+// is the free ground-truth lookup; in probe mode it runs a real probe
+// round and feeds the cluster-wide suspicion state: only after
+// ProbeMissLimit consecutive misses of a genuinely dead node does it
+// return false, and from then on the confirmed verdict is remembered (a
+// fail-stopped node never comes back).
+func (ep *Endpoint) DetectRound(p *sim.Proc, dst int) bool {
+	n := ep.net
+	if n.cfg.Detection != model.DetectProbe {
+		return n.Alive(dst)
+	}
+	if dst == ep.id {
+		return !ep.dead
+	}
+	if n.confirmedDead[dst] {
+		return false
+	}
+	if ep.probeRound(p, dst) {
+		n.missCount[dst] = 0
+		return true
+	}
+	n.missCount[dst]++
+	if n.missCount[dst] < n.cfg.ProbeMissLimit {
+		return true // suspected, not yet confirmed
+	}
+	if n.Alive(dst) {
+		// The miss streak hit the limit but the peer is alive: its acks
+		// were lost or too slow. Confirming would violate fail-stop (the
+		// "dead" node keeps issuing traffic), so the membership service
+		// vetoes the confirmation and the streak restarts. The count is
+		// the detector's false-suspicion margin under chaos.
+		n.FalseSuspicions++
+		n.missCount[dst] = 0
+		return true
+	}
+	n.confirmedDead[dst] = true
+	return false
+}
+
+// ConfirmedDead reports whether probe-mode detection has confirmed node
+// i's failure. Always false in oracle mode.
+func (n *Network) ConfirmedDead(i int) bool { return n.confirmedDead[i] }
