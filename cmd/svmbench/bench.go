@@ -42,18 +42,23 @@ type benchReport struct {
 	TotalWallMs float64     `json:"total_wall_ms"`
 	AllocBytes  uint64      `json:"alloc_bytes"`
 	Allocs      uint64      `json:"allocs"`
-	Cells       []benchCell `json:"cells"`
+	// Reps is how many times the grid ran (-benchwall); wall figures are
+	// the fastest repetition. Absent (older reports) means 1.
+	Reps int `json:"reps,omitempty"`
+	// FullTwins records that the grid ran with tracked diffing disabled.
+	FullTwins bool        `json:"full_twins,omitempty"`
+	Cells     []benchCell `json:"cells"`
 }
 
 // benchGrid is the app x mode x {1,2 threads} grid the figures run.
-func benchGrid(sz harness.Size, nodes int, det model.DetectionMode) []harness.Config {
+func benchGrid(sz harness.Size, nodes int, det model.DetectionMode, fullTwins bool) []harness.Config {
 	var cells []harness.Config
 	for _, tpn := range []int{1, 2} {
 		for _, app := range harness.AppNames {
 			for _, mode := range []svm.Mode{svm.ModeBase, svm.ModeFT} {
 				cells = append(cells, harness.Config{
 					App: app, Size: sz, Mode: mode, Nodes: nodes, ThreadsPerNode: tpn,
-					Detection: det,
+					Detection: det, FullTwins: fullTwins,
 				})
 			}
 		}
@@ -61,16 +66,34 @@ func benchGrid(sz harness.Size, nodes int, det model.DetectionMode) []harness.Co
 	return cells
 }
 
-// runBenchJSON runs the figure grid and writes the report to path.
-func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMode) error {
-	cells := benchGrid(sz, nodes, det)
-	var m0, m1 runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&m0)
-	start := time.Now()
-	results := harness.RunGrid(cells)
-	wall := time.Since(start)
-	runtime.ReadMemStats(&m1)
+// runBenchJSON runs the figure grid (reps times, keeping the fastest
+// repetition's wall figures — the standard defense against host noise)
+// and writes the report to path.
+func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMode, reps int, fullTwins bool) error {
+	if reps < 1 {
+		reps = 1
+	}
+	cells := benchGrid(sz, nodes, det, fullTwins)
+	var results []harness.Result
+	var wall time.Duration
+	var allocBytes, allocs uint64
+	for rep := 0; rep < reps; rep++ {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res := harness.RunGrid(cells)
+		w := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if reps > 1 {
+			fmt.Printf("  rep %d/%d: %.1f ms\n", rep+1, reps, float64(w)/1e6)
+		}
+		if results == nil || w < wall {
+			results, wall = res, w
+			allocBytes = m1.TotalAlloc - m0.TotalAlloc
+			allocs = m1.Mallocs - m0.Mallocs
+		}
+	}
 
 	rep := benchReport{
 		Size:        string(sz),
@@ -78,8 +101,10 @@ func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMo
 		Detection:   det.String(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		TotalWallMs: float64(wall) / 1e6,
-		AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
-		Allocs:      m1.Mallocs - m0.Mallocs,
+		AllocBytes:  allocBytes,
+		Allocs:      allocs,
+		Reps:        reps,
+		FullTwins:   fullTwins,
 	}
 	for i, r := range results {
 		if r.Err != nil {
@@ -114,7 +139,7 @@ func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMo
 // per-cell deltas. The virtual metrics must not move (they are deterministic
 // protocol outputs — any delta flags a behavior change); wall time is the
 // simulator speedup/regression.
-func runBenchCompare(oldPath string) error {
+func runBenchCompare(oldPath string, fullTwins bool) error {
 	blob, err := os.ReadFile(oldPath)
 	if err != nil {
 		return err
@@ -138,7 +163,7 @@ func runBenchCompare(oldPath string) error {
 		cells[i] = harness.Config{
 			App: c.App, Size: harness.Size(old.Size), Mode: mode,
 			Nodes: c.Nodes, ThreadsPerNode: c.ThreadsPerNode,
-			Detection: det,
+			Detection: det, FullTwins: fullTwins,
 		}
 	}
 	start := time.Now()

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ftsvm/internal/apps"
 	"ftsvm/internal/harness"
@@ -37,6 +39,10 @@ func main() {
 	jsonOut := flag.String("json", "", "run the figure grid and write a machine-readable report to this file")
 	compare := flag.String("compare", "", "re-run the grid recorded in this report and print per-cell deltas")
 	detect := flag.String("detect", "oracle", "failure detection for -json grids and the detection ablation's clean runs: oracle, probe")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the workload to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchwall := flag.Int("benchwall", 1, "repetitions of the -json grid; the report records the fastest")
+	fulltwins := flag.Bool("fulltwins", false, "disable write-set tracked diffing (full-page twins and scans)")
 	flag.Parse()
 
 	sz := harness.Size(*size)
@@ -47,15 +53,42 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			}
+		}()
+	}
+
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut, sz, *nodes, det); err != nil {
+		if err := runBenchJSON(*jsonOut, sz, *nodes, det, *benchwall, *fulltwins); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *compare != "" {
-		if err := runBenchCompare(*compare); err != nil {
+		if err := runBenchCompare(*compare, *fulltwins); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -15,6 +15,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"reflect"
+	"sync"
 
 	"ftsvm/internal/proto"
 )
@@ -35,14 +36,25 @@ type Snapshot struct {
 	Blob []byte
 }
 
+// encBufs recycles encode scratch buffers. The encoder itself is NOT
+// reused: a fresh encoder re-sends type descriptors, and the blob must be
+// byte-for-byte what a standalone encode would produce (its length is a
+// modeled checkpoint cost). Only the scratch allocation is amortized.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Encode serializes an application state value (typically a pointer to a
 // struct) for checkpointing.
 func Encode(state any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(state); err != nil {
+		encBufs.Put(buf)
 		return nil, fmt.Errorf("checkpoint: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	blob := make([]byte, buf.Len())
+	copy(blob, buf.Bytes())
+	encBufs.Put(buf)
+	return blob, nil
 }
 
 // Decode restores an application state value encoded by Encode. The

@@ -88,6 +88,10 @@ type Config struct {
 	// UnsafeSinglePhase collapses the two propagation phases (ablation:
 	// the price of failure atomicity).
 	UnsafeSinglePhase bool
+	// FullTwins disables write-set tracked diffing (ablation: full-page
+	// twin copies and full-page diff scans, the pre-tracking behavior).
+	// Protocol outputs are identical either way; only host time moves.
+	FullTwins bool
 	// Detection selects the failure detector: the zero value is the free
 	// oracle (seed behavior); model.DetectProbe pays for real probe/ack
 	// traffic.
@@ -198,6 +202,7 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 		Body:              w.Body,
 		AggregateDiffs:    c.AggregateDiffs,
 		UnsafeSinglePhase: c.UnsafeSinglePhase,
+		FullTwins:         c.FullTwins,
 	})
 	if err != nil {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}

@@ -121,6 +121,19 @@ func appendSpans(spans []span, twin, cur []byte, word int) []span {
 	return spans
 }
 
+// appendSpansRange scans only [lo, hi) of the pair, emitting spans with
+// page-absolute offsets. lo must be word-aligned (the tracked caller
+// aligns chunk boundaries before calling).
+func appendSpansRange(spans []span, twin, cur []byte, word, lo, hi int) []span {
+	base := len(spans)
+	spans = appendSpans(spans, twin[lo:hi], cur[lo:hi], word)
+	for i := base; i < len(spans); i++ {
+		spans[i].off += lo
+		spans[i].end += lo
+	}
+	return spans
+}
+
 // DiffBuf is reusable storage for diff computation: the span scratch, the
 // run headers, and one payload arena all runs point into. Obtain one with
 // GetDiffBuf, compute with ComputeInto, and Release it when the resulting
@@ -148,9 +161,6 @@ func (b *DiffBuf) Release() { diffBufPool.Put(b) }
 // lifetime contract.
 func ComputeInto(buf *DiffBuf, twin, cur []byte, word int) []Run {
 	checkComputeArgs(twin, cur, word)
-	if bytes.Equal(twin, cur) {
-		return nil
-	}
 	buf.spans = appendSpans(buf.spans[:0], twin, cur, word)
 	return buf.materialize(cur)
 }
@@ -158,6 +168,9 @@ func ComputeInto(buf *DiffBuf, twin, cur []byte, word int) []Run {
 // materialize copies the spanned regions of cur into the buffer's arena
 // and returns the run slice describing them.
 func (b *DiffBuf) materialize(cur []byte) []Run {
+	if len(b.spans) == 0 {
+		return nil
+	}
 	total := 0
 	for _, s := range b.spans {
 		total += s.end - s.off
@@ -196,12 +209,19 @@ func checkComputeArgs(twin, cur []byte, word int) {
 // indefinitely (messages, recovery stashes).
 func Compute(twin, cur []byte, word int) []Run {
 	checkComputeArgs(twin, cur, word)
-	if bytes.Equal(twin, cur) {
+	buf := GetDiffBuf()
+	buf.spans = appendSpans(buf.spans[:0], twin, cur, word)
+	runs := cloneSpans(buf.spans, cur)
+	buf.Release()
+	return runs
+}
+
+// cloneSpans copies the spanned regions of cur into one fresh arena and
+// returns independent runs (nil when spans is empty).
+func cloneSpans(spans []span, cur []byte) []Run {
+	if len(spans) == 0 {
 		return nil
 	}
-	buf := GetDiffBuf()
-	spans := appendSpans(buf.spans[:0], twin, cur, word)
-	buf.spans = spans
 	total := 0
 	for _, s := range spans {
 		total += s.end - s.off
@@ -213,7 +233,6 @@ func Compute(twin, cur []byte, word int) []Run {
 		arena = append(arena, cur[s.off:s.end]...)
 		runs[i] = Run{Off: s.off, Data: arena[p:len(arena):len(arena)]}
 	}
-	buf.Release()
 	return runs
 }
 

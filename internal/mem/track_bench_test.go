@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDiffTracked measures the full per-interval twin+diff cost of
+// both strategies on the two write patterns the protocol distinguishes:
+//
+//   - sparse: a handful of word writes clustered in a few chunks, the
+//     Water-Nsq lock-grained pattern. Tracking snapshots only the touched
+//     chunks and restricts the diff scan to them.
+//   - dense: every word rewritten, the FFT/LU whole-page pattern between
+//     barriers. Tracking devolves to a full twin and full scan (the SVM
+//     layer's dense-page adaptation takes the same shortcut), so the win
+//     here is bounded and the benchmark guards against regression instead.
+//
+// Each iteration replays the interval lifecycle: take the twin (lazily via
+// MarkAndSnapshot for tracked, a whole-page copy for full), apply the
+// writes, and compute the diff into pooled storage.
+func BenchmarkDiffTracked(b *testing.B) {
+	patterns := []struct {
+		name   string
+		sparse bool
+	}{{"sparse", true}, {"dense", false}}
+	for _, size := range []int{4096, 16384} {
+		for _, pat := range patterns {
+			for _, tracked := range []bool{true, false} {
+				strategy := "full"
+				if tracked {
+					strategy = "tracked"
+				}
+				b.Run(fmt.Sprintf("%s/%dB/%s", pat.name, size, strategy), func(b *testing.B) {
+					cur := make([]byte, size)
+					for i := range cur {
+						cur[i] = byte(i * 31)
+					}
+					twin := make([]byte, size)
+					mask := make([]uint64, MaskWords(size))
+					// Offsets written each interval.
+					var writes []int
+					if pat.sparse {
+						// 8 words spread over 2 chunks.
+						for i := 0; i < 8; i++ {
+							writes = append(writes, i*8+(i%2)*ChunkBytes*3)
+						}
+					} else {
+						for off := 0; off < size; off += 8 {
+							writes = append(writes, off)
+						}
+					}
+					buf := GetDiffBuf()
+					defer buf.Release()
+					b.SetBytes(int64(size))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						var runs []Run
+						if tracked {
+							for j := range mask {
+								mask[j] = 0
+							}
+							for _, off := range writes {
+								MarkAndSnapshot(mask, twin, cur, off, 8)
+								cur[off] ^= 0xff
+							}
+							runs = ComputeTrackedInto(buf, twin, cur, 8, mask)
+						} else {
+							copy(twin, cur)
+							for _, off := range writes {
+								cur[off] ^= 0xff
+							}
+							runs = ComputeInto(buf, twin, cur, 8)
+						}
+						if len(runs) == 0 {
+							b.Fatal("no runs")
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -25,6 +25,14 @@ type Engine struct {
 	now    int64
 	seq    uint64
 	events eventHeap
+	// nowq holds events scheduled with zero delay — process dispatches and
+	// NIC drains, the majority of all events — in FIFO order, bypassing the
+	// heap. Ordering stays exact: a zero-delay event is created at the
+	// current instant, so its seq is greater than that of any heap event
+	// already due, and FIFO order within the queue is seq order. The run
+	// loop therefore drains due heap events before the now-queue.
+	nowq   []event
+	nqHead int
 	rng    *rand.Rand
 
 	live    int // spawned, not yet finished processes
@@ -40,6 +48,13 @@ type event struct {
 	t   int64
 	seq uint64
 	fn  func()
+	// Wake events carry the target process and its sleep token inline
+	// instead of a fn closure: timeouts and Advance fire millions of times
+	// per run, and a per-event closure allocation (plus its GC scan) was
+	// the simulator's single largest allocation source. fn == nil marks a
+	// wake event.
+	p   *Proc
+	gen uint64
 }
 
 // before is the total event order: time, then schedule order. seq is
@@ -83,29 +98,33 @@ func (h *eventHeap) pop() event {
 	a := h.a
 	top := a[0]
 	last := len(a) - 1
-	a[0] = a[last]
+	e := a[last]
 	a[last] = event{} // release the fn reference for the GC
 	h.a = a[:last]
 	a = h.a
-	// Sift down.
+	// Sift the hole down, placing e once: moving children into the hole
+	// halves the byte traffic of swap-based sifting.
 	i := 0
 	for {
-		min := i
+		min := -1
 		c := i*4 + 1
 		end := c + 4
 		if end > last {
 			end = last
 		}
 		for ; c < end; c++ {
-			if a[c].before(&a[min]) {
+			if (min < 0 && a[c].before(&e)) || (min >= 0 && a[c].before(&a[min])) {
 				min = c
 			}
 		}
-		if min == i {
+		if min < 0 {
 			break
 		}
-		a[i], a[min] = a[min], a[i]
+		a[i] = a[min]
 		i = min
+	}
+	if last > 0 {
+		a[i] = e
 	}
 	return top
 }
@@ -128,11 +147,23 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // At schedules fn to run in engine context after delay nanoseconds.
 // A negative delay is treated as zero.
 func (e *Engine) At(delay int64, fn func()) {
-	if delay < 0 {
-		delay = 0
-	}
 	e.seq++
+	if delay <= 0 {
+		e.nowq = append(e.nowq, event{t: e.now, seq: e.seq, fn: fn})
+		return
+	}
 	e.events.push(event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// wakeAt schedules p.wakeIf(gen) after delay nanoseconds without
+// allocating a closure (see event).
+func (e *Engine) wakeAt(delay int64, p *Proc, gen uint64) {
+	e.seq++
+	if delay <= 0 {
+		e.nowq = append(e.nowq, event{t: e.now, seq: e.seq, p: p, gen: gen})
+		return
+	}
+	e.events.push(event{t: e.now + delay, seq: e.seq, p: p, gen: gen})
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -148,12 +179,35 @@ func (e *Engine) SetAfterEvent(fn func()) { e.afterEvent = fn }
 // Run executes events until none remain or Stop is called. It returns a
 // DeadlockError if processes are still blocked when the event heap drains.
 func (e *Engine) Run() error {
-	for e.events.len() > 0 && !e.stopped {
-		ev := e.events.pop()
-		if ev.t > e.now {
-			e.now = ev.t
+	for !e.stopped {
+		var ev event
+		if e.nqHead < len(e.nowq) {
+			// Due heap events were scheduled before time reached e.now, so
+			// their seqs precede every now-queue entry: drain them first.
+			if e.events.len() > 0 && e.events.a[0].t <= e.now {
+				ev = e.events.pop()
+			} else {
+				ev = e.nowq[e.nqHead]
+				e.nowq[e.nqHead] = event{}
+				e.nqHead++
+				if e.nqHead == len(e.nowq) {
+					e.nowq = e.nowq[:0]
+					e.nqHead = 0
+				}
+			}
+		} else if e.events.len() > 0 {
+			ev = e.events.pop()
+			if ev.t > e.now {
+				e.now = ev.t
+			}
+		} else {
+			break
 		}
-		ev.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.p.wakeIf(ev.gen)
+		}
 		if e.afterEvent != nil {
 			e.afterEvent()
 		}

@@ -9,6 +9,18 @@ type Future struct {
 	val     any
 	err     error
 	waiters []waiter
+	// w0 backs the first waiter inline: nearly every future is awaited by
+	// exactly one process, so the common case needs no separate slice
+	// allocation.
+	w0 [1]waiter
+}
+
+// addWaiter appends w, seeding the slice from the inline buffer on first use.
+func (f *Future) addWaiter(w waiter) {
+	if f.waiters == nil {
+		f.waiters = f.w0[:0]
+	}
+	f.waiters = append(f.waiters, w)
 }
 
 type waiter struct {
@@ -18,6 +30,11 @@ type waiter struct {
 
 // NewFuture returns a pending future bound to the engine.
 func (e *Engine) NewFuture() *Future { return &Future{eng: e} }
+
+// InitFuture resets f to a pending future bound to the engine. It lets a
+// future be embedded by value inside a caller's own struct, saving the
+// separate allocation NewFuture would make.
+func (e *Engine) InitFuture(f *Future) { *f = Future{eng: e} }
 
 // Done reports whether the future has been resolved or failed.
 func (f *Future) Done() bool { return f.done }
@@ -51,7 +68,7 @@ func (f *Future) complete(v any, err error) {
 func (p *Proc) Await(f *Future) (any, error) {
 	for !f.done {
 		gen := p.prepareSleep()
-		f.waiters = append(f.waiters, waiter{p, gen})
+		f.addWaiter(waiter{p, gen})
 		p.doSleep()
 	}
 	return f.val, f.err
@@ -65,8 +82,8 @@ func (p *Proc) AwaitTimeout(f *Future, d int64) (any, error, bool) {
 		return f.val, f.err, true
 	}
 	gen := p.prepareSleep()
-	f.waiters = append(f.waiters, waiter{p, gen})
-	p.eng.At(d, func() { p.wakeIf(gen) })
+	f.addWaiter(waiter{p, gen})
+	p.eng.wakeAt(d, p, gen)
 	p.doSleep()
 	if !f.done {
 		return nil, nil, false

@@ -20,6 +20,10 @@ type Proc struct {
 	waiting bool
 	killed  bool
 	done    bool
+
+	// dispatchFn is the one dispatch closure this process ever allocates;
+	// every wake reschedules it instead of capturing p anew.
+	dispatchFn func()
 }
 
 // Spawn starts fn as a new process. The process begins running at the
@@ -42,7 +46,8 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.At(0, func() { e.dispatch(p) })
+	p.dispatchFn = func() { e.dispatch(p) }
+	e.At(0, p.dispatchFn)
 	return p
 }
 
@@ -105,7 +110,7 @@ func (p *Proc) wakeIf(gen uint64) {
 	}
 	p.waiting = false
 	p.eng.unblock(p)
-	p.eng.At(0, func() { p.eng.dispatch(p) })
+	p.eng.At(0, p.dispatchFn)
 }
 
 // Advance moves the process's virtual time forward by d nanoseconds,
@@ -113,7 +118,7 @@ func (p *Proc) wakeIf(gen uint64) {
 // once, which makes Advance(0) a cooperative scheduling point.
 func (p *Proc) Advance(d int64) {
 	gen := p.prepareSleep()
-	p.eng.At(d, func() { p.wakeIf(gen) })
+	p.eng.wakeAt(d, p, gen)
 	p.doSleep()
 }
 

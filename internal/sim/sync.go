@@ -40,7 +40,10 @@ func (m *Mutex) Unlock() {
 	m.holder = nil
 	if len(m.queue) > 0 {
 		w := m.queue[0]
-		m.queue = m.queue[1:]
+		// Slide down in place rather than re-slicing: m.queue[1:] would
+		// strand the backing array's head and force append to reallocate.
+		copy(m.queue, m.queue[1:])
+		m.queue = m.queue[:len(m.queue)-1]
 		w.p.wakeIf(w.gen)
 	}
 }
@@ -53,6 +56,7 @@ func (m *Mutex) Holder() *Proc { return m.holder }
 // model as long as callers re-check their predicate in a loop.
 type Gate struct {
 	waiters []waiter
+	scratch []waiter // Broadcast's working copy; retains capacity across wakes
 }
 
 // Wait parks p until the next Broadcast.
@@ -67,7 +71,7 @@ func (g *Gate) Wait(p *Proc) {
 func (g *Gate) WaitTimeout(p *Proc, d int64) bool {
 	gen := p.prepareSleep()
 	g.waiters = append(g.waiters, waiter{p, gen})
-	p.eng.At(d, func() { p.wakeIf(gen) })
+	p.eng.wakeAt(d, p, gen)
 	p.doSleep()
 	// A Broadcast removes every entry it wakes; if ours is still present,
 	// the timeout fired first.
@@ -91,9 +95,12 @@ func (g *Gate) remove(p *Proc, gen uint64) {
 
 // Broadcast wakes every process currently waiting on the gate.
 func (g *Gate) Broadcast() {
-	ws := g.waiters
-	g.waiters = nil
-	for _, w := range ws {
+	// Copy to scratch first: a woken process may Wait again (re-appending
+	// to g.waiters) before this loop finishes. Both slices keep their
+	// capacity, so steady-state broadcasts allocate nothing.
+	g.scratch = append(g.scratch[:0], g.waiters...)
+	g.waiters = g.waiters[:0]
+	for _, w := range g.scratch {
 		w.p.wakeIf(w.gen)
 	}
 }
@@ -126,7 +133,8 @@ func (s *Semaphore) Release() {
 	s.avail++
 	if len(s.queue) > 0 {
 		w := s.queue[0]
-		s.queue = s.queue[1:]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
 		w.p.wakeIf(w.gen)
 	}
 }

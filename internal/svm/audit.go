@@ -178,6 +178,21 @@ func (a *auditor) checkPages() error {
 			if pg.dirtyWorking != nil && (pg.dirtyTwin == nil || pg.state != pInvalid) {
 				return fmt.Errorf("page-state: node %d page %d has an inconsistent dirty stash (state=%d)", n.id, pid, pg.state)
 			}
+			// Tracking structure: a twin and its dirty mask travel
+			// together (partial twins are meaningless without the mask
+			// saying which chunks are valid), and vice versa.
+			if cl.tracked {
+				if (pg.twin != nil) != (pg.dirtyMask != nil) {
+					return fmt.Errorf("page-state: node %d page %d twin/dirty-mask mismatch (twin=%v mask=%v)",
+						n.id, pid, pg.twin != nil, pg.dirtyMask != nil)
+				}
+				if (pg.dirtyTwin != nil) != (pg.stashMask != nil) {
+					return fmt.Errorf("page-state: node %d page %d stashed twin/mask mismatch (twin=%v mask=%v)",
+						n.id, pid, pg.dirtyTwin != nil, pg.stashMask != nil)
+				}
+			} else if pg.dirtyMask != nil || pg.stashMask != nil {
+				return fmt.Errorf("page-state: node %d page %d carries a dirty mask with tracking off", n.id, pid)
+			}
 			if a.stride == 1 {
 				prev := a.prevReq[n.id][pid]
 				for src, v := range pg.reqVer {

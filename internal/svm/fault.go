@@ -144,11 +144,19 @@ func (t *Thread) finishFetch(pg *page, ver proto.VectorTime) {
 		// The merge diff lives only for this replay: compute it in pooled
 		// storage and release everything before returning.
 		dbuf := mem.GetDiffBuf()
-		localDiff := mem.Diff{Page: pg.id, Runs: mem.ComputeInto(dbuf, pg.dirtyTwin, pg.dirtyWorking, cfg.WordSize)}
+		localDiff := mem.Diff{Page: pg.id, Runs: mem.ComputeTrackedInto(dbuf, pg.dirtyTwin, pg.dirtyWorking, cfg.WordSize, pg.stashMask)}
 		t.charge(CompDataWait, cfg.DiffNs(cfg.PageSize))
 		// New twin = fetched copy (pre-merge), so the next commit diffs out
-		// exactly the local modifications.
-		pg.twin = t.cl.clonePageBuf(pg.working)
+		// exactly the local modifications. Tracked: the dirty set carries
+		// over from the stash, and only those chunks need pre-merge images.
+		if pg.stashMask != nil {
+			pg.dirtyMask, pg.stashMask = pg.stashMask, nil
+			pg.twin = t.cl.getPageBuf()
+			t.cl.stats.TwinBytesCopied += int64(mem.CopyMasked(pg.twin, pg.working, pg.dirtyMask))
+		} else {
+			pg.twin = t.cl.clonePageBuf(pg.working)
+			t.cl.stats.TwinBytesCopied += int64(cfg.PageSize)
+		}
 		localDiff.Apply(pg.working)
 		dbuf.Release()
 		t.cl.putPageBuf(pg.dirtyWorking)
@@ -184,7 +192,24 @@ func (t *Thread) writeFault(pg *page) {
 	// Check, clone, and transition without an intervening yield: a sibling
 	// completing the same fault during a yield would have its writes
 	// captured into a re-cloned twin and silently excluded from the diff.
-	pg.twin = t.cl.clonePageBuf(pg.working)
+	if t.cl.tracked {
+		// Lazy partial twin: no copy here — each chunk is snapshotted at
+		// its first write (Thread.track). The buffer holds garbage outside
+		// dirty chunks and is never read there. The modeled cost below is
+		// unchanged: the simulated machine still pays a full-page copy.
+		pg.twin = t.cl.getPageBuf()
+		pg.dirtyMask = t.cl.getMaskBuf()
+		if pg.denseHint {
+			// Dense-writer fast path (see page.denseHint).
+			copy(pg.twin, pg.working)
+			mem.MarkRange(pg.dirtyMask, 0, cfg.PageSize)
+			pg.maskFull = true
+			t.cl.stats.TwinBytesCopied += int64(cfg.PageSize)
+		}
+	} else {
+		pg.twin = t.cl.clonePageBuf(pg.working)
+		t.cl.stats.TwinBytesCopied += int64(cfg.PageSize)
+	}
 	pg.state = pWritable
 	t.node.dirty = append(t.node.dirty, pg.id)
 	t.cl.stats.WriteFaults++
@@ -229,8 +254,11 @@ func (t *Thread) invalidate(pid int, src int, itv int32) {
 		// access fetches the home copy and merges them back.
 		pg.dirtyTwin = pg.twin
 		pg.dirtyWorking = pg.working
+		pg.stashMask = pg.dirtyMask
 		pg.twin = nil
 		pg.working = nil
+		pg.dirtyMask = nil
+		pg.maskFull = false
 		pg.state = pInvalid
 	case pReadOnly:
 		pg.state = pInvalid

@@ -72,13 +72,16 @@ func (n *node) applyDiffMsg(m *diffMsg) {
 		buf := pg.ensureWorking()
 		m.Diff.Apply(buf)
 		// Keep concurrently-diffed local copies coherent so the home's own
-		// diffs contain only its own modifications.
+		// diffs contain only its own modifications. A partial twin is
+		// patched only inside its dirty chunks (clean chunks hold garbage
+		// and snapshot later from the already-patched working copy); a
+		// nil mask (FullTwins) patches the whole twin.
 		if pg.twin != nil {
-			m.Diff.Apply(pg.twin)
+			m.Diff.ApplyMasked(pg.twin, pg.dirtyMask)
 		}
 		if pg.dirtyWorking != nil {
 			m.Diff.Apply(pg.dirtyWorking)
-			m.Diff.Apply(pg.dirtyTwin)
+			m.Diff.ApplyMasked(pg.dirtyTwin, pg.stashMask)
 		}
 		if pg.baseVer == nil {
 			pg.baseVer = proto.NewVector(cfg.Nodes)
@@ -89,7 +92,7 @@ func (n *node) applyDiffMsg(m *diffMsg) {
 		pg.serveWaiters(pg.baseVer, buf, cfg.PageSize+64)
 	case 1: // tentative copy at the secondary home
 		if pg.tentative == nil {
-			pg.tentative = make([]byte, cfg.PageSize)
+			pg.tentative = n.cl.getPageBufZero()
 			pg.tentVer = proto.NewVector(cfg.Nodes)
 		}
 		if m.Undo != nil {
@@ -101,7 +104,7 @@ func (n *node) applyDiffMsg(m *diffMsg) {
 		pg.applyDiff(pg.tentative, pg.tentVer, m.Src, m.Interval, m.Diff)
 	case 2: // committed copy at the primary home
 		if pg.committed == nil {
-			pg.committed = make([]byte, cfg.PageSize)
+			pg.committed = n.cl.getPageBufZero()
 			pg.commitVer = proto.NewVector(cfg.Nodes)
 		}
 		pg.applyDiff(pg.committed, pg.commitVer, m.Src, m.Interval, m.Diff)
@@ -120,7 +123,7 @@ func (n *node) handleFetch(d *vmmc.Delivery, m *fetchReq) {
 		if pg.committed == nil {
 			// Newly promoted home whose replica has not arrived yet:
 			// defer until recovery installs it.
-			pg.committed = make([]byte, cfg.PageSize)
+			pg.committed = n.cl.getPageBufZero()
 			pg.commitVer = proto.NewVector(cfg.Nodes)
 		}
 		buf, ver = pg.committed, pg.commitVer
@@ -148,7 +151,10 @@ func (n *node) intervalRange(from, to int32) []proto.UpdateList {
 	if to > int32(len(n.intervals)) {
 		to = int32(len(n.intervals))
 	}
-	var out []proto.UpdateList
+	if to < from {
+		return nil
+	}
+	out := make([]proto.UpdateList, 0, to-from+1)
 	for i := from; i <= to; i++ {
 		out = append(out, n.intervals[i-1])
 	}

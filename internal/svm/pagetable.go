@@ -47,12 +47,38 @@ type page struct {
 	working []byte // local copy; nil until first touched
 	twin    []byte // pre-write snapshot while pWritable
 
+	// dirtyMask records which ChunkBytes-granular chunks were written
+	// since the twin was created (one bit per chunk; see internal/mem
+	// tracking). When tracking is on, the twin is partial: it holds valid
+	// pre-write data only inside dirty chunks, snapshotted lazily at the
+	// first write to each chunk. nil when tracking is off (FullTwins),
+	// in which case the twin is a complete page copy and diffs full-scan.
+	dirtyMask []uint64
+
+	// maskFull means every chunk of dirtyMask is marked: the write fault
+	// took a complete upfront twin (dense-writer path), so per-write chunk
+	// snapshotting is a no-op for this interval.
+	maskFull bool
+
+	// denseHint records that this page's previous commit had dirtied nearly
+	// every chunk. The next write fault then snapshots the whole page at
+	// once instead of chunk-by-chunk: one page-sized copy is cheaper than
+	// dozens of chunk copies plus per-write mask probes, and pre-marking
+	// clean chunks cannot change the diff (their contents equal the twin).
+	denseHint bool
+
 	// dirtyTwin preserves a dirty page's twin across an invalidation
 	// (false sharing: a concurrent remote writer updated the page while we
 	// hold uncommitted local writes). The next access fetches the home
-	// copy and replays our local diff over it.
+	// copy and replays our local diff over it. stashMask is the dirty
+	// mask that travels with the stashed pair.
 	dirtyTwin    []byte
 	dirtyWorking []byte
+	stashMask    []uint64
+
+	// seenCommit dedups this page within one commitInterval pass (the
+	// dirty list may hold duplicates from fetch-merge re-listing).
+	seenCommit int64
 
 	// reqVer is the version this node must observe on its next fetch,
 	// accumulated from write notices at acquires and barriers.
@@ -167,6 +193,26 @@ func (cl *Cluster) putPageBuf(b []byte) {
 	cl.pageFree = append(cl.pageFree, b)
 }
 
+// getMaskBuf returns a zeroed dirty-chunk mask sized for one page.
+func (cl *Cluster) getMaskBuf() []uint64 {
+	if n := len(cl.maskFree); n > 0 {
+		m := cl.maskFree[n-1]
+		cl.maskFree[n-1] = nil
+		cl.maskFree = cl.maskFree[:n-1]
+		clear(m)
+		return m
+	}
+	return make([]uint64, mem.MaskWords(cl.cfg.PageSize))
+}
+
+// putMaskBuf recycles a dirty-chunk mask.
+func (cl *Cluster) putMaskBuf(m []uint64) {
+	if m == nil {
+		return
+	}
+	cl.maskFree = append(cl.maskFree, m)
+}
+
 // fetchNeed returns the version a fetch by node me must observe: the
 // accumulated write notices plus this node's own last committed interval
 // for the page.
@@ -203,12 +249,12 @@ func (pt *pageTable) initHome(pid int, role proto.Role, ft bool, size, nnodes in
 	switch role {
 	case proto.Primary:
 		if pg.committed == nil {
-			pg.committed = make([]byte, size)
+			pg.committed = pt.node.cl.getPageBufZero()
 			pg.commitVer = proto.NewVector(nnodes)
 		}
 	case proto.Secondary:
 		if pg.tentative == nil {
-			pg.tentative = make([]byte, size)
+			pg.tentative = pt.node.cl.getPageBufZero()
 			pg.tentVer = proto.NewVector(nnodes)
 		}
 	}

@@ -79,14 +79,14 @@ func (t *Thread) reconcilePages(dead int, saved *savedState) {
 func ensureHomeCopies(cl *Cluster, pgP, pgS *page) {
 	ensureCommitted(cl, pgP)
 	if pgS.tentative == nil {
-		pgS.tentative = make([]byte, cl.cfg.PageSize)
+		pgS.tentative = cl.getPageBufZero()
 		pgS.tentVer = proto.NewVector(cl.cfg.Nodes)
 	}
 }
 
 func ensureCommitted(cl *Cluster, pg *page) {
 	if pg.committed == nil {
-		pg.committed = make([]byte, cl.cfg.PageSize)
+		pg.committed = cl.getPageBufZero()
 		pg.commitVer = proto.NewVector(cl.cfg.Nodes)
 	}
 }
@@ -115,7 +115,7 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 			// pre-image (the committed copy that would normally provide
 			// the roll-back data died with the releaser).
 			if sv.tentative == nil {
-				sv.tentative = make([]byte, cfg.PageSize)
+				sv.tentative = cl.getPageBufZero()
 				sv.tentVer = proto.NewVector(cfg.Nodes)
 			}
 			tsDead := int32(0)
@@ -135,7 +135,7 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 		case proto.Secondary:
 			ensureCommitted(cl, sv)
 			if pg.tentative == nil {
-				pg.tentative = make([]byte, cfg.PageSize)
+				pg.tentative = cl.getPageBufZero()
 			}
 			copy(pg.tentative, sv.committed)
 			pg.tentVer = sv.commitVer.Clone()
@@ -294,8 +294,11 @@ func (n *node) invalidateRaw(pid, src int, itv int32) {
 	case pWritable:
 		pg.dirtyTwin = pg.twin
 		pg.dirtyWorking = pg.working
+		pg.stashMask = pg.dirtyMask
 		pg.twin = nil
 		pg.working = nil
+		pg.dirtyMask = nil
+		pg.maskFull = false
 		pg.state = pInvalid
 	case pReadOnly:
 		pg.state = pInvalid

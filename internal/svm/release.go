@@ -32,36 +32,48 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 	cfg := t.cl.cfg
 	ft := t.cl.opt.Mode == ModeFT
 
+	maskChunks := (cfg.PageSize + mem.ChunkBytes - 1) >> mem.ChunkShift
 	var caps []capturedDiff
 	var pages []int
 	var retained []int // pages with deferred sibling words: stay dirty
 	diffBytes := 0
-	seen := make(map[int]bool, len(n.dirty))
+	n.commitSeq++
 	for _, pid := range n.dirty {
-		if seen[pid] {
-			continue
-		}
-		seen[pid] = true
 		pg := n.pt.pages[pid]
+		if pg.seenCommit == n.commitSeq {
+			continue // duplicate dirty-list entry (fetch-merge re-listing)
+		}
+		pg.seenCommit = n.commitSeq
 		var twin, cur []byte
+		var mask []uint64
 		stash := false
 		switch {
 		case pg.dirtyWorking != nil:
 			// Invalidated while dirty and not yet refetched: diff the
 			// stashed copies; the stash is then propagated and dropped
 			// (or retained, if sibling words are deferred).
-			twin, cur, stash = pg.dirtyTwin, pg.dirtyWorking, true
+			twin, cur, mask, stash = pg.dirtyTwin, pg.dirtyWorking, pg.stashMask, true
 		case pg.twin != nil:
 			// Writable, or a base-mode home page marked stale while dirty
 			// (its state is pInvalid but working and twin stayed live).
-			twin, cur = pg.twin, pg.working
+			twin, cur, mask = pg.twin, pg.working, pg.dirtyMask
 		default:
-			continue // already handled (duplicate entry or racing commit)
+			continue // already handled (racing commit)
 		}
 		// Escaping storage on purpose: the captured diff may be shipped,
 		// stashed at the backup, and retained across recovery epochs, so it
-		// cannot come from a pooled DiffBuf.
-		d := &mem.Diff{Page: pid, Runs: mem.Compute(twin, cur, cfg.WordSize)}
+		// cannot come from a pooled DiffBuf. The scan is restricted to the
+		// chunks the write path recorded as dirty (identical output; a nil
+		// mask — FullTwins — falls back to the full scan).
+		d := &mem.Diff{Page: pid, Runs: mem.ComputeTracked(twin, cur, cfg.WordSize, mask)}
+		if mask != nil {
+			// Re-learn the page's write density for the next interval's
+			// twin strategy (see page.denseHint). The crossover sits low:
+			// one page-sized copy plus a full scan beats per-write probes
+			// and scattered chunk copies well before half the chunks are
+			// dirty, so ≥1/4 dirty reads as dense.
+			pg.denseHint = mem.MaskCount(mask)*4 >= maskChunks
+		}
 		// SMP replay exactness: words last written by a sibling that is
 		// inside a critical section right now are NOT committed with this
 		// interval — they stay twinned and commit with that sibling's own
@@ -70,7 +82,7 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 		// mid-CS at point A as a state struct, not a stack) would apply it
 		// again. Single-thread-per-node runs never defer.
 		deferred := t.splitDeferred(pg, d)
-		diffBytes += cfg.PageSize // diff creation scans the whole page
+		diffBytes += cfg.PageSize // modeled cost: diff creation scans the whole page
 		// Buffers dropped here are recycled at the end of the iteration:
 		// the twin is still read below by preImage.
 		var freeCur, freeTwin []byte
@@ -79,19 +91,19 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 		} else {
 			if stash {
 				freeCur, freeTwin = pg.dirtyWorking, pg.dirtyTwin
-				pg.dirtyWorking, pg.dirtyTwin = nil, nil
+				pg.dirtyWorking, pg.dirtyTwin, pg.stashMask = nil, nil, nil
 			} else {
 				freeTwin = pg.twin
-				pg.twin = nil
+				pg.twin, pg.dirtyMask = nil, nil
+				pg.maskFull = false
 				if pg.state == pWritable {
 					pg.state = pReadOnly
 				}
 			}
 			if pg.writers != nil {
-				for i := range pg.writers {
-					pg.writers[i] = -1
-				}
+				clearWriters(pg.writers, mask, cfg.WordSize, cfg.PageSize)
 			}
+			t.cl.putMaskBuf(mask)
 		}
 		if d.Empty() {
 			t.cl.putPageBuf(freeCur)
@@ -350,14 +362,40 @@ func (t *Thread) postBatches(batches map[int]*diffBatch) {
 	}
 }
 
+// clearWriters resets last-writer marks after a commit. With a dirty
+// mask, only words inside dirty chunks can carry marks (a mark is set at
+// each write, which also dirties the chunk), so the reset skips the rest
+// of the page instead of clearing ~PageSize/WordSize words wholesale.
+func clearWriters(writers []int16, mask []uint64, wordSize, pageSize int) {
+	if mask == nil {
+		for i := range writers {
+			writers[i] = -1
+		}
+		return
+	}
+	mem.MaskRuns(mask, pageSize, func(lo, hi int) {
+		for w := lo / wordSize; w < (hi+wordSize-1)/wordSize && w < len(writers); w++ {
+			writers[w] = -1
+		}
+	})
+}
+
 // preImage builds the undo diff: the same modified regions with the
-// twin's (pre-write) contents.
+// twin's (pre-write) contents — one arena allocation for the whole
+// pre-image, mirroring mem.Compute. The regions are exactly d's runs,
+// which lie inside dirty chunks, so a partial twin is valid everywhere
+// this reads.
 func preImage(d *mem.Diff, twin []byte) *mem.Diff {
 	u := &mem.Diff{Page: d.Page, Runs: make([]mem.Run, len(d.Runs))}
+	total := 0
+	for _, r := range d.Runs {
+		total += len(r.Data)
+	}
+	arena := make([]byte, 0, total)
 	for i, r := range d.Runs {
-		data := make([]byte, len(r.Data))
-		copy(data, twin[r.Off:r.Off+len(r.Data)])
-		u.Runs[i] = mem.Run{Off: r.Off, Data: data}
+		p := len(arena)
+		arena = append(arena, twin[r.Off:r.Off+len(r.Data)]...)
+		u.Runs[i] = mem.Run{Off: r.Off, Data: arena[p:len(arena):len(arena)]}
 	}
 	return u
 }
@@ -369,6 +407,22 @@ func preImage(d *mem.Diff, twin []byte) *mem.Diff {
 // in d are cleared. Reports whether anything was deferred.
 func (t *Thread) splitDeferred(pg *page, d *mem.Diff) bool {
 	if !t.cl.trackWriters || pg.writers == nil || d.Empty() {
+		return false
+	}
+	// Fast path: no other thread on this node is inside a critical section
+	// right now, so no word can qualify for deferral — skip the per-word
+	// writer scan entirely (the caller's post-commit mark reset handles the
+	// bookkeeping). A stale Thread object in node.threads can only cause a
+	// harmless trip into the slow path, never a missed deferral: current
+	// thread objects are always listed on their node.
+	inCS := false
+	for _, sib := range t.node.threads {
+		if sib != t && sib.locksHeld > 0 {
+			inCS = true
+			break
+		}
+	}
+	if !inCS {
 		return false
 	}
 	ws := t.cl.cfg.WordSize
@@ -518,13 +572,13 @@ func (t *Thread) applyLocalDiff(c capturedDiff, itv int32, phase int) {
 	t.charge(CompDiff, cfg.CopyNs(c.diff.DataBytes()))
 	if phase == 1 {
 		if pg.tentative == nil {
-			pg.tentative = make([]byte, cfg.PageSize)
+			pg.tentative = t.cl.getPageBufZero()
 			pg.tentVer = proto.NewVector(cfg.Nodes)
 		}
 		pg.applyDiff(pg.tentative, pg.tentVer, n.id, itv, c.diff)
 	} else {
 		if pg.committed == nil {
-			pg.committed = make([]byte, cfg.PageSize)
+			pg.committed = t.cl.getPageBufZero()
 			pg.commitVer = proto.NewVector(cfg.Nodes)
 		}
 		pg.applyDiff(pg.committed, pg.commitVer, n.id, itv, c.diff)

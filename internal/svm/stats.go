@@ -10,6 +10,11 @@ type ProtoStats struct {
 	RemoteFetches int64 // pages fetched from a remote home
 	LocalFetches  int64 // FT primary homes copying committed -> working
 	WriteFaults   int64 // twin creations (pages entering an interval)
+	// TwinBytesCopied counts bytes the simulator actually copied into
+	// twins: with dirty-chunk tracking only first-dirtied chunks are
+	// snapshotted, with FullTwins every write fault copies a whole page.
+	// (Host-side work; the modeled twin-copy charge is unchanged.)
+	TwinBytesCopied int64
 
 	// Diff propagation.
 	PagesDiffed     int64 // page-diffs captured at commits

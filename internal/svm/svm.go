@@ -2,6 +2,7 @@ package svm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ftsvm/internal/checkpoint"
 	"ftsvm/internal/mem"
@@ -118,6 +119,13 @@ type Options struct {
 	// mid-propagation can leave the two replicas of a page irreconcilable
 	// (neither copy is known-complete). For ablation only.
 	UnsafeSinglePhase bool
+	// FullTwins disables dirty-chunk write tracking: write faults copy
+	// the whole page into the twin and diff creation scans the whole
+	// page, as in the original implementation. Protocol outputs (virtual
+	// times, messages, diff contents) are identical either way — tracking
+	// only changes how the simulator computes them — so this is an
+	// ablation/cross-check knob for host-side performance.
+	FullTwins bool
 }
 
 // Cluster is a running SVM cluster.
@@ -139,8 +147,18 @@ type Cluster struct {
 	ckptCount int64 // total thread-state checkpoints taken
 
 	// pageFree recycles page-size buffers (twins, working copies, fetch
-	// payloads); see pagetable.go.
+	// payloads); see pagetable.go. maskFree recycles dirty-chunk masks.
 	pageFree [][]byte
+	maskFree [][]uint64
+
+	// tracked enables dirty-chunk write tracking with lazy partial twins
+	// (the default; see Options.FullTwins).
+	tracked bool
+
+	// pageShift/pageLow turn pageOf's div/mod into shift/mask when
+	// PageSize is a power of two (pageShift == 0 means it is not).
+	pageShift uint
+	pageLow   int
 
 	// trackWriters enables per-word last-writer tracking (extended
 	// protocol with >1 thread/node): commitInterval defers a sibling's
@@ -170,6 +188,7 @@ type node struct {
 	vt        proto.VectorTime
 	intervals []proto.UpdateList // own committed update lists, index = interval-1
 	dirty     []int              // pages written in the current interval
+	commitSeq int64              // commitInterval pass counter (dirty-list dedup)
 
 	// releaseBusy serializes release/commit critical sections on the node
 	// (a recovery-interruptible mutex).
@@ -263,6 +282,11 @@ func New(opt Options) (*Cluster, error) {
 		sliceNs: 20_000,
 	}
 	cl.trackWriters = opt.Mode == ModeFT && cfg.ThreadsPerNode > 1
+	cl.tracked = !opt.FullTwins
+	if psz := cfg.PageSize; psz&(psz-1) == 0 {
+		cl.pageShift = uint(bits.TrailingZeros(uint(psz)))
+		cl.pageLow = psz - 1
+	}
 	cl.net = vmmc.New(cl.eng, &cfg)
 	assign := opt.HomeAssign
 	if assign == nil {
@@ -417,6 +441,7 @@ func (cl *Cluster) Metrics() obs.Snapshot {
 			{Name: "write_faults", Value: s.WriteFaults},
 			{Name: "pages_diffed", Value: s.PagesDiffed},
 			{Name: "home_pages_diffed", Value: s.HomePagesDiffed},
+			{Name: "twin_bytes_copied", Value: s.TwinBytesCopied},
 			{Name: "diff_msgs", Value: s.DiffMsgs},
 			{Name: "diff_bytes", Value: s.DiffBytes},
 			{Name: "invalidations", Value: s.Invalidations},

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"ftsvm/internal/checkpoint"
+	"ftsvm/internal/mem"
 	"ftsvm/internal/sim"
 )
 
@@ -141,12 +142,17 @@ func (t *Thread) safePoint() {
 // guarantees this for power-of-two page sizes).
 
 func (t *Thread) pageOf(addr int) (*page, int) {
-	psz := t.cl.cfg.PageSize
-	pid := addr / psz
+	var pid, off int
+	if s := t.cl.pageShift; s != 0 {
+		pid, off = addr>>s, addr&t.cl.pageLow
+	} else {
+		psz := t.cl.cfg.PageSize
+		pid, off = addr/psz, addr%psz
+	}
 	if pid < 0 || pid >= len(t.node.pt.pages) {
 		panic(fmt.Sprintf("svm: address %d out of shared space", addr))
 	}
-	return t.node.pt.pages[pid], addr % psz
+	return t.node.pt.pages[pid], off
 }
 
 // readable ensures the page may be read locally, faulting if needed.
@@ -166,6 +172,29 @@ func (t *Thread) writable(pg *page) {
 		}
 		// pReadOnly -> pWritable: write fault.
 		t.writeFault(pg)
+	}
+}
+
+// track snapshots the chunks about to be dirtied by an n-byte write at
+// off into pg's partial twin (lazy, chunk-granular twinning). Call after
+// writable(pg) and before mutating pg.working. No-op on the steady-state
+// path (chunks already dirty) and when tracking is off (nil mask: the
+// write fault took a full-page twin).
+func (t *Thread) track(pg *page, off, n int) {
+	mask := pg.dirtyMask
+	if mask == nil || pg.maskFull {
+		return
+	}
+	// Steady-state fast path: a write confined to one already-dirty chunk
+	// (the overwhelmingly common case — word writes into hot chunks) needs
+	// only the bit probe, not MarkAndSnapshot's loop.
+	first := off >> mem.ChunkShift
+	if (off+n-1)>>mem.ChunkShift == first &&
+		mask[first>>6]&(uint64(1)<<(uint(first)&63)) != 0 {
+		return
+	}
+	if c := mem.MarkAndSnapshot(mask, pg.twin, pg.working, off, n); c != 0 {
+		t.cl.stats.TwinBytesCopied += int64(c)
 	}
 }
 
@@ -209,6 +238,7 @@ func (t *Thread) WriteU64(addr int, v uint64) {
 	// Mutate before charging: charge may yield, and a sibling's interval
 	// commit during the yield would downgrade the page and lose a write
 	// performed after it.
+	t.track(pg, off, 8)
 	binary.LittleEndian.PutUint64(pg.working[off:off+8], v)
 	t.markWriter(pg, off, 8)
 	t.charge(CompCompute, t.cl.cfg.WriteAccessNs)
@@ -238,6 +268,7 @@ func (t *Thread) WriteU32(addr int, v uint32) {
 	t.safePoint()
 	pg, off := t.pageOf(addr)
 	t.writable(pg)
+	t.track(pg, off, 4)
 	binary.LittleEndian.PutUint32(pg.working[off:off+4], v)
 	t.markWriter(pg, off, 4)
 	t.charge(CompCompute, t.cl.cfg.WriteAccessNs)
@@ -276,6 +307,7 @@ func (t *Thread) WriteF64s(addr int, src []float64) {
 		if n > len(src)-i {
 			n = len(src) - i
 		}
+		t.track(pg, off, 8*n)
 		for k := 0; k < n; k++ {
 			binary.LittleEndian.PutUint64(pg.working[off+8*k:], f64bits(src[i+k]))
 		}
@@ -317,6 +349,7 @@ func (t *Thread) WriteU32s(addr int, src []uint32) {
 		if n > len(src)-i {
 			n = len(src) - i
 		}
+		t.track(pg, off, 4*n)
 		for k := 0; k < n; k++ {
 			binary.LittleEndian.PutUint32(pg.working[off+4*k:], src[i+k])
 		}

@@ -1,0 +1,209 @@
+package svm
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"ftsvm/internal/model"
+)
+
+// The dirty-chunk tracked diffing path (partial twins, ComputeTracked,
+// dense-page adaptation) must be a pure host-side optimization: every
+// protocol-visible quantity — virtual time, message and byte counts, diff
+// contents, final memory — must be identical to a run with FullTwins
+// (whole-page twins, full diff scans). These tests run the same
+// deterministic workload both ways and compare outcomes, covering the
+// sparse lock-grained pattern, false sharing across invalidation (the
+// dirtyTwin stash), SMP write-deferral, and failure recovery.
+
+// diffPair runs body under both twin strategies and returns the clusters.
+func diffPair(t *testing.T, mode Mode, nodes, tpn, pages, locks int, body func(*Thread), arm func(*Cluster)) (tracked, full *Cluster) {
+	t.Helper()
+	run := func(fullTwins bool) *Cluster {
+		cfg := model.Default()
+		cfg.Nodes = nodes
+		cfg.ThreadsPerNode = tpn
+		cl, err := New(Options{
+			Config: cfg, Mode: mode, Pages: pages, Locks: locks,
+			Body: body, FullTwins: fullTwins,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm != nil {
+			arm(cl)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !cl.Finished() {
+			t.Fatal("threads did not finish")
+		}
+		return cl
+	}
+	return run(false), run(true)
+}
+
+// assertSameOutcome compares everything the simulated machine can observe.
+// TwinBytesCopied is excluded: copying fewer twin bytes on the host is the
+// entire point of partial twins.
+func assertSameOutcome(t *testing.T, tracked, full *Cluster, pages int) {
+	t.Helper()
+	if got, want := tracked.Engine().Now(), full.Engine().Now(); got != want {
+		t.Errorf("virtual end time: tracked %d, fulltwins %d", got, want)
+	}
+	st, sf := tracked.ProtoStats(), full.ProtoStats()
+	st.TwinBytesCopied, sf.TwinBytesCopied = 0, 0
+	if st != sf {
+		t.Errorf("protocol stats diverged:\ntracked:   %+v\nfulltwins: %+v", st, sf)
+	}
+	psz := tracked.cfg.PageSize
+	for p := 0; p < pages; p++ {
+		if !bytes.Equal(tracked.PeekBytes(p*psz, psz), full.PeekBytes(p*psz, psz)) {
+			t.Errorf("page %d contents diverged", p)
+		}
+	}
+}
+
+func TestTrackedMatchesFullTwinsCounter(t *testing.T) {
+	for _, mode := range []Mode{ModeBase, ModeFT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tracked, full := diffPair(t, mode, 4, 1, 8, 1, counterBody(8), nil)
+			assertSameOutcome(t, tracked, full, 8)
+			checkCounter(t, tracked, 32)
+		})
+	}
+}
+
+// falseShareState drives a workload mixing a densely rewritten page with
+// word-grained false sharing on another: concurrent writers dirty page 0
+// at distinct offsets with no lock protecting it, so write notices arrive
+// while the page is still dirty and the invalidation stashes the partial
+// twin (dirtyTwin/stashMask) for the fetch-merge replay.
+type falseShareState struct {
+	Iter int
+}
+
+func falseShareBody(iters int) func(*Thread) {
+	return func(th *Thread) {
+		st := &falseShareState{}
+		th.Setup(st)
+		for st.Iter < iters {
+			// Sparse: each thread's private slot on the shared page.
+			th.WriteU64(th.ID()*64, uint64(st.Iter+1))
+			// Dense: every thread rewrites most of page 1 under the lock,
+			// exercising the dense-page full-twin adaptation.
+			th.Acquire(0)
+			base := th.cl.cfg.PageSize
+			for off := 0; off < th.cl.cfg.PageSize; off += 8 {
+				th.WriteU64(base+off, uint64(th.ID()<<32)|uint64(off))
+			}
+			st.Iter++
+			th.Release(0)
+			th.Barrier()
+		}
+		th.Barrier()
+	}
+}
+
+func TestTrackedMatchesFullTwinsFalseSharing(t *testing.T) {
+	for _, mode := range []Mode{ModeBase, ModeFT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tracked, full := diffPair(t, mode, 4, 1, 8, 1, falseShareBody(4), nil)
+			assertSameOutcome(t, tracked, full, 8)
+		})
+	}
+}
+
+// SMP: two threads per node activates per-word writer tracking and the
+// mid-critical-section write deferral, both of which read partial twins.
+func TestTrackedMatchesFullTwinsSMP(t *testing.T) {
+	tracked, full := diffPair(t, ModeFT, 4, 2, 8, 2, counterBody(6), nil)
+	assertSameOutcome(t, tracked, full, 8)
+	checkCounter(t, tracked, 48)
+}
+
+// Failure: recovery rebuilds replicas from pre-images (preImage reads the
+// partial twin) and replays stashed diffs; the outcome must not depend on
+// the twin strategy.
+func TestTrackedMatchesFullTwinsFailure(t *testing.T) {
+	arm := func(cl *Cluster) {
+		cl.Engine().At(3_000_000, func() { cl.KillNode(2) })
+	}
+	tracked, full := diffPair(t, ModeFT, 4, 1, 8, 1, counterBody(12), arm)
+	assertSameOutcome(t, tracked, full, 8)
+}
+
+// TestReleasePathAllocBudget is the allocation-regression gate for the
+// steady-state release path. It measures the marginal host allocations per
+// additional lock-release iteration (long run minus short run, so cluster
+// construction and first-touch costs cancel) and fails if the figure
+// regresses past a generous ceiling. The budget has ~3x headroom over the
+// current cost (~140); reintroducing a per-event closure or per-message
+// allocation multiplies the figure by orders of magnitude.
+func TestReleasePathAllocBudget(t *testing.T) {
+	allocs := func(iters int) uint64 {
+		cfg := model.Default()
+		cfg.Nodes = 4
+		cl, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 8, Locks: 1, Body: counterBody(iters)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	short, long := allocs(4), allocs(24)
+	perRelease := (int64(long) - int64(short)) / (20 * 4) // 20 extra iters x 4 threads
+	t.Logf("marginal allocations per release: %d", perRelease)
+	const budget = 600
+	if perRelease > budget {
+		t.Fatalf("steady-state release path allocates %d objects per release, budget %d", perRelease, budget)
+	}
+}
+
+// Release-path benchmarks: sparse (lock-grained, Water-Nsq-like) vs dense
+// (whole-page, FFT/LU-like) writers. Run with -fulltwins ablation via
+// cmd/svmbench or directly against FullTwins here to see the tracked
+// speedup; allocs/op is reported for the allocation gate's context.
+func benchRelease(b *testing.B, dense, fullTwins bool) {
+	body := func(th *Thread) {
+		st := &counterState{}
+		th.Setup(st)
+		for st.Iter < 8 {
+			th.Acquire(0)
+			if dense {
+				for off := 0; off < th.cl.cfg.PageSize; off += 8 {
+					th.WriteU64(off, uint64(st.Iter)<<32|uint64(off))
+				}
+			} else {
+				th.WriteU64(th.ID()*8, uint64(st.Iter+1))
+			}
+			st.Iter++
+			th.Release(0)
+		}
+		th.Barrier()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := model.Default()
+		cfg.Nodes = 4
+		cl, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 4, Locks: 1, Body: body, FullTwins: fullTwins})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReleaseSparseTracked(b *testing.B)   { benchRelease(b, false, false) }
+func BenchmarkReleaseSparseFullTwins(b *testing.B) { benchRelease(b, false, true) }
+func BenchmarkReleaseDenseTracked(b *testing.B)    { benchRelease(b, true, false) }
+func BenchmarkReleaseDenseFullTwins(b *testing.B)  { benchRelease(b, true, true) }
