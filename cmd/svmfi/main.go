@@ -1,0 +1,149 @@
+// Command svmfi is the exhaustive failure-point explorer: it runs a
+// workload once to enumerate every protocol-step boundary, then
+// re-executes it once per boundary with a fail-stop injected exactly
+// there, holding each run to the invariant auditor, the workload's own
+// result check, the replica/availability invariants, and the
+// memory-consistency oracle's causal replay of the commit log.
+//
+// Usage:
+//
+//	svmfi -app counter,falseshare -size small -nodes 4
+//	svmfi -app counter -budget 200 -shard 8 -json
+//	svmfi -app counter -kinds release.phase1,ckpt.A
+//	svmfi -app counter -boundary 'release.phase1@n2#3'
+//
+// Every failing verdict is reproducible from (app config, boundary id,
+// seed): rerun it with -boundary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ftsvm/internal/explore"
+	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+func main() {
+	appsFlag := flag.String("app", "counter,falseshare", "comma-separated applications to sweep")
+	size := flag.String("size", "small", "problem size: small, medium, paper")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	threads := flag.Int("threads", 1, "compute threads per node")
+	lock := flag.String("lock", "polling", "lock algorithm: polling (the queue lock has no FT variant)")
+	detect := flag.String("detect", "oracle", "failure detection: oracle, probe")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	budget := flag.Int("budget", 0, "cap the sweep at this many boundaries, evenly sampled (0: exhaustive)")
+	shard := flag.Int("shard", 0, "parallel injection runs (0: GOMAXPROCS)")
+	kinds := flag.String("kinds", "", "restrict to these boundary kinds (comma-separated)")
+	boundary := flag.String("boundary", "", "explore a single boundary id (kind@nN#occ) and print its verdict")
+	jsonOut := flag.Bool("json", false, "emit one JSON verdict per line instead of a summary")
+	verbose := flag.Bool("v", false, "print per-boundary progress and the kind histogram")
+	flag.Parse()
+
+	if *lock != "polling" {
+		fmt.Fprintln(os.Stderr, "svmfi: only the polling lock has a fault-tolerant variant (§4.3)")
+		os.Exit(2)
+	}
+	det := model.DetectionMode(0)
+	if *detect == "probe" {
+		det = model.DetectProbe
+	}
+
+	failed := 0
+	for _, app := range strings.Split(*appsFlag, ",") {
+		app = strings.TrimSpace(app)
+		if app == "" {
+			continue
+		}
+		sp := harness.ExploreSpec(harness.Config{
+			App: app, Size: harness.Size(*size),
+			Nodes: *nodes, ThreadsPerNode: *threads,
+			LockAlgo: svm.LockPolling, Detection: det,
+			Overrides: func(cfg *model.Config) { cfg.Seed = *seed },
+		})
+		failed += sweepApp(sp, *boundary, *budget, *shard, *kinds, *jsonOut, *verbose)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// sweepApp records one workload's boundaries and explores them,
+// returning the number of failed verdicts.
+func sweepApp(sp explore.Spec, boundary string, budget, shard int, kinds string, jsonOut, verbose bool) int {
+	t0 := time.Now()
+	tr, err := explore.Record(sp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svmfi: %s: baseline recording failed: %v\n", sp.Name, err)
+		return 1
+	}
+
+	if boundary != "" {
+		b, err := explore.ParseID(boundary)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svmfi: %v\n", err)
+			return 1
+		}
+		v := explore.Explore(sp, b, tr.Budget())
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+		if v.Pass {
+			return 0
+		}
+		return 1
+	}
+
+	bs := tr.Boundaries
+	if kinds != "" {
+		bs, err = explore.FilterKinds(bs, strings.Split(kinds, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svmfi: %v\n", err)
+			return 1
+		}
+	}
+	total := len(bs)
+	if budget > 0 && budget < total {
+		bs = explore.Sample(bs, budget)
+	}
+
+	progress := func(done int, v explore.Verdict) {}
+	if verbose && !jsonOut {
+		progress = func(done int, v explore.Verdict) {
+			status := "pass"
+			if !v.Pass {
+				status = "FAIL: " + v.Err
+			}
+			fmt.Printf("  [%d/%d] %s %s\n", done, len(bs), strings.Join(v.Schedule, ","), status)
+		}
+	}
+	vs := explore.Sweep(sp, bs, tr.Budget(), shard, progress)
+
+	failed := 0
+	enc := json.NewEncoder(os.Stdout)
+	for i, v := range vs {
+		if !v.Pass {
+			failed++
+		}
+		if jsonOut {
+			enc.Encode(v)
+		} else if !v.Pass {
+			fmt.Printf("FAIL %s at %s: %s\n", sp.Name, bs[i].ID(), v.Err)
+			fmt.Printf("  reproduce: svmfi -app %s -boundary '%s'\n", strings.SplitN(sp.Name, "/", 2)[0], bs[i].ID())
+		}
+	}
+	if !jsonOut {
+		fmt.Printf("%s: %d/%d boundaries pass (%d recorded, %d swept, %.1fs)\n",
+			sp.Name, len(vs)-failed, len(vs), total, len(vs), time.Since(t0).Seconds())
+		if verbose {
+			fmt.Printf("  kinds: %s\n", explore.KindHistogram(tr.Boundaries))
+		}
+	}
+	return failed
+}

@@ -1,0 +1,429 @@
+// Package explore is the exhaustive protocol-step failure-point
+// explorer: it runs a workload once recording every protocol-step
+// boundary from the flight recorder, then re-executes the workload once
+// per boundary with a fail-stop injected exactly there, driving
+// recovery to completion under the online invariant auditor and a
+// memory-consistency oracle (internal/oracle).
+//
+// A boundary is the k-th occurrence of an event kind on a node in the
+// deterministic event stream: every vmmc message send and delivery,
+// every release-pipeline transition (commit, phase 1, timestamp save,
+// point-B checkpoint, phase 2, done), every lock grant, handoff and
+// clear, every checkpoint encode, every barrier arrival and release
+// broadcast. Recording charges no virtual time, so the injection run's
+// pre-kill prefix is bit-identical to the recording run: the k-th
+// occurrence in the recording IS the k-th occurrence when re-executed,
+// and a boundary ID is an exact, reproducible coordinate for a failure.
+package explore
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftsvm/internal/obs"
+	"ftsvm/internal/oracle"
+	"ftsvm/internal/svm"
+)
+
+// Boundary is one failure point: the Occ-th occurrence (1-based) of
+// Kind on Node in the run's deterministic event stream. Injecting a
+// failure at the boundary kills Node at the instant the event fires.
+type Boundary struct {
+	Kind obs.Kind
+	Node int32
+	Occ  int64
+}
+
+// ID renders the boundary's stable coordinate, e.g.
+// "release.phase1@n2#3". The triple (app, ID, seed) reproduces a
+// schedule exactly.
+func (b Boundary) ID() string {
+	return fmt.Sprintf("%s@n%d#%d", b.Kind, b.Node, b.Occ)
+}
+
+// ParseID is the inverse of ID.
+func ParseID(s string) (Boundary, error) {
+	at := strings.LastIndexByte(s, '@')
+	sep := strings.LastIndexByte(s, '#')
+	if at < 0 || sep < at || !strings.HasPrefix(s[at+1:], "n") {
+		return Boundary{}, fmt.Errorf("explore: malformed boundary id %q (want kind@nN#occ)", s)
+	}
+	kind, ok := obs.KindByName(s[:at])
+	if !ok {
+		return Boundary{}, fmt.Errorf("explore: unknown event kind %q in boundary id %q", s[:at], s)
+	}
+	node, err := strconv.Atoi(s[at+2 : sep])
+	if err != nil {
+		return Boundary{}, fmt.Errorf("explore: bad node in boundary id %q: %v", s, err)
+	}
+	occ, err := strconv.ParseInt(s[sep+1:], 10, 64)
+	if err != nil || occ < 1 {
+		return Boundary{}, fmt.Errorf("explore: bad occurrence in boundary id %q", s)
+	}
+	return Boundary{Kind: kind, Node: int32(node), Occ: occ}, nil
+}
+
+// Instance is one fresh, runnable workload: the cluster plus the
+// workload's own post-run self-check (result verification).
+type Instance struct {
+	Cluster *svm.Cluster
+	Check   func() error
+}
+
+// Spec builds identical instances of one workload on demand. New must
+// return a deterministic cluster (fixed seed in the model config): the
+// explorer's whole premise is that two instances replay the same event
+// stream until the injected kill.
+type Spec struct {
+	Name string
+	New  func() (Instance, error)
+	// RingSize is the per-node flight-recorder ring (default 512 — the
+	// rings only feed post-mortem dumps; boundary counting streams).
+	RingSize int
+	// AuditStride is the invariant auditor's event stride (default 1:
+	// audit after every engine event).
+	AuditStride int
+}
+
+func (sp Spec) ringSize() int {
+	if sp.RingSize <= 0 {
+		return 512
+	}
+	return sp.RingSize
+}
+
+func (sp Spec) auditStride() int {
+	if sp.AuditStride <= 0 {
+		return 1
+	}
+	return sp.AuditStride
+}
+
+// Trace is the outcome of a recording run: every boundary in stream
+// order, the events the engine executed, and the run's fingerprint.
+type Trace struct {
+	Boundaries  []Boundary
+	Events      int64
+	TimeNs      int64
+	Fingerprint string
+}
+
+// Budget returns the event budget injection runs derive from this
+// recording: generous headroom for a recovery episode plus retries, yet
+// a deterministic bound on livelock.
+func (tr *Trace) Budget() int64 {
+	return 40*tr.Events + 200_000
+}
+
+// Record executes the workload once, failure-free, enumerating every
+// protocol-step boundary. The run must itself pass the auditor and the
+// workload self-check: boundaries of a broken baseline mean nothing.
+func Record(sp Spec) (*Trace, error) {
+	inst, err := sp.New()
+	if err != nil {
+		return nil, fmt.Errorf("explore: build %s: %w", sp.Name, err)
+	}
+	cl := inst.Cluster
+	rec := cl.EnableFlightRecorder(sp.ringSize())
+	cl.EnableWireTrace()
+	cl.EnableAuditor(sp.auditStride())
+
+	tr := &Trace{}
+	occ := map[occKey]int64{}
+	h := fnv.New64a()
+	rec.SetSink(func(e obs.Event) {
+		k := occKey{e.Kind, e.Node}
+		occ[k]++
+		tr.Boundaries = append(tr.Boundaries, Boundary{Kind: e.Kind, Node: e.Node, Occ: occ[k]})
+		hashEvent(h, e)
+	})
+	if err := cl.Run(); err != nil {
+		return nil, fmt.Errorf("explore: %s baseline run: %w", sp.Name, err)
+	}
+	if !cl.Finished() {
+		return nil, fmt.Errorf("explore: %s baseline run did not finish", sp.Name)
+	}
+	if err := inst.Check(); err != nil {
+		return nil, fmt.Errorf("explore: %s baseline self-check: %w", sp.Name, err)
+	}
+	tr.Events = cl.Engine().Events()
+	tr.TimeNs = cl.ExecTime()
+	hashMemory(h, cl)
+	tr.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
+	return tr, nil
+}
+
+type occKey struct {
+	kind obs.Kind
+	node int32
+}
+
+// Verdict is the outcome of one injection run.
+type Verdict struct {
+	Schedule []string `json:"schedule"`          // boundary IDs requested
+	Injected []string `json:"injected"`          // kills actually delivered
+	Refused  []string `json:"refused,omitempty"` // kills refused (single-failure model)
+	Pass     bool     `json:"pass"`
+	Err      string   `json:"err,omitempty"`
+	Events   int64    `json:"events"`
+	TimeNs   int64    `json:"time_ns"`
+	// Recoveries counts completed recovery episodes. Zero with a kill
+	// injected means the failure went undetected: the victim had no
+	// remaining protocol obligations, so no survivor ever contacted it —
+	// the run is then held to the availability invariant (committed state
+	// intact on live homes) instead of the post-recovery replica
+	// invariant.
+	Recoveries int64 `json:"recoveries"`
+	// Fingerprint hashes the run's full event stream and final committed
+	// memory: two runs of the same schedule must produce equal values.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Explore re-executes the workload with a fail-stop injected at b.
+func Explore(sp Spec, b Boundary, budget int64) Verdict {
+	return ExploreSchedule(sp, []Boundary{b}, budget)
+}
+
+// ExploreSchedule re-executes the workload injecting a kill at each
+// scheduled boundary, in stream order. The protocol's failure model is
+// single-failure (§4.1): a kill whose boundary fires while a recovery
+// episode is still pending, or whose target node is already dead, is
+// refused — recorded in Verdict.Refused, never injected — rather than
+// silently explored as a schedule the protocol does not claim to
+// survive. Kills after a completed recovery are injected normally.
+//
+// The verdict passes when the run finishes within the event budget with
+// every scheduled kill injected or refused, the invariant auditor stays
+// silent, the surviving threads complete the workload, its self-check
+// passes, the replica invariant holds, and the final committed memory
+// equals the consistency oracle's causal replay of the commit log.
+func ExploreSchedule(sp Spec, schedule []Boundary, budget int64) (v Verdict) {
+	for _, b := range schedule {
+		v.Schedule = append(v.Schedule, b.ID())
+	}
+	inst, err := sp.New()
+	if err != nil {
+		v.Err = fmt.Sprintf("build %s: %v", sp.Name, err)
+		return v
+	}
+	cl := inst.Cluster
+	rec := cl.EnableFlightRecorder(sp.ringSize())
+	cl.EnableWireTrace()
+	cl.EnableAuditor(sp.auditStride())
+	if budget > 0 {
+		cl.Engine().SetEventBudget(budget)
+	}
+
+	var log oracle.Log
+	cl.SetCommitSink(log.Commit)
+
+	pending := append([]Boundary(nil), schedule...)
+	occ := map[occKey]int64{}
+	h := fnv.New64a()
+	injecting := false
+	rec.SetSink(func(e obs.Event) {
+		k := occKey{e.Kind, e.Node}
+		occ[k]++
+		hashEvent(h, e)
+		if injecting {
+			// Nested record from KillNode's own KKill trace: count and
+			// hash it, but don't rescan the schedule mid-injection.
+			return
+		}
+		for i := 0; i < len(pending); i++ {
+			b := pending[i]
+			if b.Kind != e.Kind || b.Node != e.Node || b.Occ != occ[k] {
+				continue
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+			i--
+			switch {
+			case cl.RecoveryPending() || cl.NodeDead(int(b.Node)):
+				// Second failure before the first recovered, or a target
+				// already gone: outside the single-failure model — refuse.
+				v.Refused = append(v.Refused, b.ID())
+			default:
+				v.Injected = append(v.Injected, b.ID())
+				injecting = true
+				cl.KillNode(int(b.Node))
+				injecting = false
+			}
+		}
+	})
+
+	runErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return cl.Run()
+	}()
+	v.Events = cl.Engine().Events()
+	v.TimeNs = cl.ExecTime()
+	v.Recoveries = cl.ProtoStats().Recoveries
+	hashMemory(h, cl)
+	v.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
+
+	switch {
+	case runErr != nil:
+		v.Err = runErr.Error()
+	case len(pending) > 0:
+		// A scheduled boundary never fired — for a single kill that means
+		// the coordinate does not exist in this run (stale trace).
+		ids := make([]string, len(pending))
+		for i, b := range pending {
+			ids[i] = b.ID()
+		}
+		v.Err = fmt.Sprintf("boundaries never fired: %s", strings.Join(ids, ","))
+	case !cl.Finished():
+		v.Err = "surviving threads did not finish"
+	default:
+		err := inst.Check()
+		if err == nil {
+			if len(v.Injected) > 0 && v.Recoveries == 0 {
+				// Undetected failure: the victim died after its last
+				// protocol obligation, so nothing ever probed it. The
+				// post-recovery replica invariant cannot hold (one home is
+				// dead and nobody rehomed); the availability invariant
+				// must, and memory is read from live homes only.
+				err = cl.VerifyAvailability()
+			} else {
+				err = cl.VerifyReplicas()
+			}
+		}
+		if err == nil {
+			err = checkOracle(cl, &log)
+		}
+		if err != nil {
+			v.Err = err.Error()
+		}
+	}
+	v.Pass = v.Err == ""
+	return v
+}
+
+// checkOracle replays the run's commit log up to the cluster's final
+// consistency frontier and compares every page frame against live
+// memory (PeekLiveBytes falls back to PeekBytes when nothing died).
+func checkOracle(cl *svm.Cluster, log *oracle.Log) error {
+	psz := cl.PageSize()
+	store := oracle.NewStore(cl.NumPages(), psz, cl.Nodes())
+	if err := store.Replay(log.Records, cl.LiveVT()); err != nil {
+		return err
+	}
+	return store.Check(func(p int) []byte { return cl.PeekLiveBytes(p*psz, psz) })
+}
+
+// hashEvent folds one recorded event into the determinism fingerprint.
+// TimeNs is included: equal fingerprints mean equal virtual schedules,
+// not just equal event orders.
+func hashEvent(h hash.Hash64, e obs.Event) {
+	var buf [21]byte
+	putI64(buf[0:], e.TimeNs)
+	putI64(buf[8:], e.Seq)
+	putI32(buf[16:], e.Node)
+	buf[20] = byte(e.Kind)
+	// Thread is excluded: node-level events carry -1 and per-thread
+	// attribution is already implied by the deterministic stream order.
+	h.Write(buf[:])
+}
+
+// hashMemory folds the final authoritative memory image into the
+// fingerprint.
+func hashMemory(h hash.Hash64, cl *svm.Cluster) {
+	psz := cl.PageSize()
+	for p := 0; p < cl.NumPages(); p++ {
+		h.Write(cl.PeekBytes(p*psz, psz))
+	}
+}
+
+func putI64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putI32(b []byte, v int32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Sample selects up to n boundaries from bs with an even stride, always
+// keeping the first and last — the cheap way to cap a sweep's cost while
+// still spanning the whole run.
+func Sample(bs []Boundary, n int) []Boundary {
+	if n <= 0 || n >= len(bs) {
+		return bs
+	}
+	out := make([]Boundary, 0, n)
+	if n == 1 {
+		return append(out, bs[0])
+	}
+	step := float64(len(bs)-1) / float64(n-1)
+	last := -1
+	for i := 0; i < n; i++ {
+		j := int(float64(i)*step + 0.5)
+		if j >= len(bs) {
+			j = len(bs) - 1
+		}
+		if j == last {
+			continue
+		}
+		last = j
+		out = append(out, bs[j])
+	}
+	return out
+}
+
+// FilterKinds keeps only boundaries of the named kinds (dotted names).
+func FilterKinds(bs []Boundary, kinds []string) ([]Boundary, error) {
+	want := map[obs.Kind]bool{}
+	for _, name := range kinds {
+		k, ok := obs.KindByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("explore: unknown event kind %q", name)
+		}
+		want[k] = true
+	}
+	var out []Boundary
+	for _, b := range bs {
+		if want[b.Kind] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// KindHistogram counts boundaries per kind, rendered sorted by count
+// then name — the sweep summary line.
+func KindHistogram(bs []Boundary) string {
+	counts := map[obs.Kind]int{}
+	for _, b := range bs {
+		counts[b.Kind]++
+	}
+	type kc struct {
+		name string
+		n    int
+	}
+	var ks []kc
+	for k, n := range counts {
+		ks = append(ks, kc{k.String(), n})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].n != ks[j].n {
+			return ks[i].n > ks[j].n
+		}
+		return ks[i].name < ks[j].name
+	})
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = fmt.Sprintf("%s:%d", k.name, k.n)
+	}
+	return strings.Join(parts, " ")
+}

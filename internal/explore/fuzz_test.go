@@ -1,0 +1,60 @@
+package explore_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ftsvm/internal/explore"
+)
+
+// FuzzScheduleDeterminism is the schedule-determinism property test: a
+// schedule built from arbitrary (shuffled, duplicated) boundary picks
+// must produce a bit-identical verdict — same fingerprint, same
+// injected/refused partition, same error — every time it runs, and a
+// duplicated boundary must collapse to the same run as the boundary
+// alone (the duplicate is refused, the kill lands once).
+func FuzzScheduleDeterminism(f *testing.F) {
+	f.Add(uint32(7), true, false)
+	f.Add(uint32(1234), false, true)
+	f.Add(uint32(42), false, false)
+	f.Add(uint32(999), true, true)
+	f.Fuzz(func(t *testing.T, idx uint32, dup bool, pair bool) {
+		tr := baseline(t)
+		bs := tr.Boundaries
+		b := bs[int(idx%uint32(len(bs)))]
+		sched := []explore.Boundary{b}
+		if dup {
+			sched = append(sched, b)
+		}
+		if pair {
+			// A second, arbitrary pick prepended: schedule order must not
+			// matter (matching is by stream coordinate, not list order).
+			b2 := bs[(int(idx)*7+13)%len(bs)]
+			sched = append([]explore.Boundary{b2}, sched...)
+		}
+
+		v1 := explore.ExploreSchedule(counterSpec(), sched, tr.Budget())
+		v2 := explore.ExploreSchedule(counterSpec(), sched, tr.Budget())
+		j1, _ := json.Marshal(v1)
+		j2, _ := json.Marshal(v2)
+		if string(j1) != string(j2) {
+			t.Fatalf("verdict not deterministic:\n%s\n%s", j1, j2)
+		}
+		if v1.Fingerprint == "" {
+			t.Fatalf("empty fingerprint for schedule %v", v1.Schedule)
+		}
+
+		if dup && !pair {
+			// Same boundary, duplicated ⇒ same run as the boundary alone.
+			solo := explore.ExploreSchedule(counterSpec(), []explore.Boundary{b}, tr.Budget())
+			if solo.Fingerprint != v1.Fingerprint {
+				t.Fatalf("duplicate of %s changed the run: %s vs %s",
+					b.ID(), v1.Fingerprint, solo.Fingerprint)
+			}
+			if len(v1.Injected)+len(v1.Refused) != 2 {
+				t.Fatalf("duplicated schedule accounted %v injected %v refused, want 2 total",
+					v1.Injected, v1.Refused)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package explore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs one injection per boundary, in parallel on up to shards
+// workers (shards <= 0: GOMAXPROCS), and returns the verdicts in input
+// order. Every injection run owns a fresh instance — engine, cluster,
+// workload — so the shard count changes wall-clock time only, never a
+// verdict. progress, when non-nil, is called once per completed run
+// (serialized, in completion order).
+func Sweep(sp Spec, bs []Boundary, budget int64, shards int, progress func(done int, v Verdict)) []Verdict {
+	out := make([]Verdict, len(bs))
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(bs) {
+		shards = len(bs)
+	}
+	if shards <= 1 {
+		for i, b := range bs {
+			out[i] = Explore(sp, b, budget)
+			if progress != nil {
+				progress(i+1, out[i])
+			}
+		}
+		return out
+	}
+	var next, done atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bs) {
+					return
+				}
+				v := Explore(sp, bs[i], budget)
+				out[i] = v
+				d := int(done.Add(1))
+				if progress != nil {
+					mu.Lock()
+					progress(d, v)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+
+	"ftsvm/internal/apps"
+	"ftsvm/internal/explore"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+// ExploreSpec adapts one experiment cell to the failure-point explorer:
+// a Spec whose New builds a fresh, deterministic instance of the cell's
+// workload and cluster. The cell's mode is forced to the extended
+// protocol — injecting fail-stops into the base protocol is asking a
+// non-fault-tolerant system to tolerate faults.
+func ExploreSpec(c Config) explore.Spec {
+	if c.Mode != svm.ModeFT {
+		c.Mode = svm.ModeFT
+	}
+	name := fmt.Sprintf("%s/%s/n%d/t%d", c.App, c.Size, c.Nodes, c.ThreadsPerNode)
+	return explore.Spec{
+		Name: name,
+		New: func() (explore.Instance, error) {
+			cfg := model.Default()
+			cfg.Nodes = c.Nodes
+			cfg.ThreadsPerNode = c.ThreadsPerNode
+			cfg.Detection = c.Detection
+			if c.Chaos != nil {
+				cfg.Chaos = *c.Chaos
+			}
+			if c.Overrides != nil {
+				c.Overrides(&cfg)
+			}
+			s := apps.Shape{Nodes: cfg.Nodes, ThreadsPerNode: cfg.ThreadsPerNode, PageSize: cfg.PageSize}
+			w, err := Build(c.App, c.Size, s)
+			if err != nil {
+				return explore.Instance{}, err
+			}
+			cl, err := svm.New(svm.Options{
+				Config:            cfg,
+				Mode:              c.Mode,
+				LockAlgo:          c.LockAlgo,
+				Pages:             w.Pages,
+				Locks:             w.Locks,
+				HomeAssign:        w.HomeAssign,
+				Body:              w.Body,
+				AggregateDiffs:    c.AggregateDiffs,
+				UnsafeSinglePhase: c.UnsafeSinglePhase,
+				FullTwins:         c.FullTwins,
+			})
+			if err != nil {
+				return explore.Instance{}, err
+			}
+			return explore.Instance{Cluster: cl, Check: w.Err}, nil
+		},
+	}
+}

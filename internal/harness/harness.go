@@ -65,6 +65,15 @@ func Build(app string, size Size, s apps.Shape) (*apps.Workload, error) {
 		// figures).
 		n := map[Size]int{SizeSmall: 64, SizeMedium: 258, SizePaper: 514}[size]
 		return apps.Ocean(s, n, 6), nil
+	case "counter":
+		// Micro workload for exhaustive failure-point sweeps (svmfi): a
+		// lock-protected shared counter.
+		n := map[Size]int{SizeSmall: 6, SizeMedium: 24, SizePaper: 96}[size]
+		return apps.Counter(s, n), nil
+	case "falseshare":
+		// Micro workload for sweeps: barrier-phased multi-writer page.
+		n := map[Size]int{SizeSmall: 8, SizeMedium: 32, SizePaper: 128}[size]
+		return apps.FalseShare(s, n), nil
 	case "kvstore":
 		// The §6 "broader application domain" extension: a transactional
 		// key-value server (not part of the paper's figures).

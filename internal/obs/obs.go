@@ -45,6 +45,21 @@ const (
 	KLockHeld
 	KLockRelease
 
+	// Barrier master's release broadcast: the merged vector time and
+	// write notices are about to be sent to every member. A failure
+	// exactly here leaves some members released and others waiting.
+	KBarrierRelease
+
+	// Wire-level boundaries, recorded only when wire tracing is enabled
+	// (svm.Cluster.EnableWireTrace): KMsgSend as a message enters the
+	// sender's post queue (a node killed here loses the queued message —
+	// the partial-propagation window), KMsgDeliver after a message is
+	// fully processed at a live destination (a node killed here dies
+	// with the message's effects applied). Seq is a network-global
+	// message counter.
+	KMsgSend
+	KMsgDeliver
+
 	// Failure and recovery (§4.5).
 	KKill
 	KRecoveryStart
@@ -74,6 +89,9 @@ var kindNames = [numKinds]string{
 	KLockGrant:         "lock.grant",
 	KLockHeld:          "lock.held",
 	KLockRelease:       "lock.release",
+	KBarrierRelease:    "barrier.release",
+	KMsgSend:           "msg.send",
+	KMsgDeliver:        "msg.deliver",
 	KKill:              "kill",
 	KRecoveryStart:     "recovery.start",
 	KRecoveryReconcile: "recovery.reconcile",
@@ -90,6 +108,26 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindByName resolves a dotted kind name ("release.phase1") back to its
+// Kind — the inverse of String, used to parse boundary IDs.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name && Kind(k) != KNone {
+			return Kind(k), true
+		}
+	}
+	return KNone, false
+}
+
+// Kinds returns every defined kind except KNone, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(numKinds)-1)
+	for k := KNone + 1; k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Event is one recorded protocol event. It is a fixed-size value so a

@@ -42,6 +42,12 @@ type Engine struct {
 
 	stopped    bool
 	afterEvent func()
+
+	fail     any    // pending panic from a process, re-raised by dispatch
+	failProc string // name of the process that panicked
+
+	executed int64 // events Run has executed so far
+	budget   int64 // when > 0, Run returns a BudgetError after this many events
 }
 
 type event struct {
@@ -170,6 +176,20 @@ func (e *Engine) wakeAt(delay int64, p *Proc, gen uint64) {
 // are discarded.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Events returns the number of events Run has executed so far. It is a
+// progress measure independent of virtual time — the unit failure-point
+// budgets are expressed in.
+func (e *Engine) Events() int64 { return e.executed }
+
+// SetEventBudget bounds the total number of events Run may execute;
+// exceeding it makes Run return a BudgetError. A failure-injection run
+// that livelocks (retry loops that never converge) would otherwise spin
+// forever at zero virtual-time progress per retry, which a wall-clock or
+// virtual-time limit cannot bound deterministically. Pass 0 to remove
+// the bound. The budget counts events executed since New, not since this
+// call.
+func (e *Engine) SetEventBudget(n int64) { e.budget = n }
+
 // SetAfterEvent installs fn to run in engine context after every executed
 // event — the event-boundary hook online invariant auditors attach to.
 // The hook must not schedule events; it may call Stop. Pass nil to remove.
@@ -208,8 +228,12 @@ func (e *Engine) Run() error {
 		} else {
 			ev.p.wakeIf(ev.gen)
 		}
+		e.executed++
 		if e.afterEvent != nil {
 			e.afterEvent()
+		}
+		if e.budget > 0 && e.executed >= e.budget && !e.stopped {
+			return &BudgetError{Time: e.now, Executed: e.executed}
 		}
 	}
 	if e.stopped {
@@ -219,6 +243,30 @@ func (e *Engine) Run() error {
 		return e.deadlock()
 	}
 	return nil
+}
+
+// BudgetError reports that Run exceeded its event budget (SetEventBudget)
+// — the deterministic signature of a livelocked simulation.
+type BudgetError struct {
+	Time     int64
+	Executed int64
+}
+
+func (b *BudgetError) Error() string {
+	return fmt.Sprintf("sim: event budget exceeded: %d events executed by t=%dns", b.Executed, b.Time)
+}
+
+// ProcPanic wraps a panic that escaped a process body, naming the
+// process. It is re-raised on the goroutine running the engine, so a
+// caller of Run may recover it — the hook failure-injection harnesses
+// use to turn a protocol panic into a verdict instead of a crash.
+type ProcPanic struct {
+	Proc  string
+	Value any
+}
+
+func (p *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: process %s panicked: %v", p.Proc, p.Value)
 }
 
 // DeadlockError reports processes that were still blocked when the event

@@ -36,11 +36,17 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			p.done = true
 			e.live--
+			// A process that unwound out of a prepared sleep (kill at park
+			// entry) is still in the blocked set: drop it, or a finished
+			// process would read as deadlocked.
+			e.unblock(p)
 			if r := recover(); r != nil && r != errKilledSentinel {
-				// Re-panic in engine context so the failure surfaces with
-				// the simulation stack rather than being swallowed.
-				e.yield <- struct{}{}
-				panic(r)
+				// Hand the panic to the engine goroutine: dispatch re-raises
+				// it there, so it surfaces on Run's caller (where a failure
+				// harness can recover it) instead of crashing the process
+				// from an anonymous goroutine while the engine runs on.
+				e.fail = r
+				e.failProc = p.name
 			}
 			e.yield <- struct{}{}
 		}()
@@ -63,10 +69,26 @@ func (e *Engine) dispatch(p *Proc) {
 	p.resume <- struct{}{}
 	<-e.yield
 	e.current = prev
+	if e.fail != nil {
+		// The process panicked: re-raise on this goroutine — the one that
+		// called Run — with the process named.
+		r, name := e.fail, e.failProc
+		e.fail = nil
+		panic(&ProcPanic{Proc: name, Value: r})
+	}
 }
 
 // park returns control to the engine until the process is resumed.
 func (p *Proc) park() {
+	if p.killed {
+		// Killed while running (a failure injected from this process's
+		// own context): unwind at the scheduling point instead of
+		// blocking. The wait this park enters may have no wake source —
+		// e.g. a reply to a request that died in the killed node's own
+		// post queue — so deferring the check to resume would leave a
+		// dead process blocked forever.
+		panic(errKilledSentinel)
+	}
 	p.eng.yield <- struct{}{}
 	<-p.resume
 	if p.killed {

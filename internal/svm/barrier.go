@@ -31,10 +31,7 @@ func (t *Thread) Barrier() {
 		return
 	}
 	n.barCount[epoch]++
-	if n.barCount[epoch] == n.liveThreads() && n.barSentEpoch < epoch {
-		t.performRelease(nil)
-		t.sendArrival(epoch)
-	}
+	t.arriveIfReady(epoch)
 
 	for int64(n.barEpoch) < epoch {
 		if rel := n.barRelease; rel != nil && int64(rel.Epoch) == epoch {
@@ -54,15 +51,48 @@ func (t *Thread) Barrier() {
 		}
 		if t.cl.rec.pending && !t.inRecovery {
 			t.participateRecovery()
-			// Recovery may have wiped in-flight arrivals; the node's
-			// arrival is resent by whichever waiter notices first.
-			if n.barSentEpoch < epoch && int64(n.barEpoch) < epoch &&
-				n.barCount[epoch] >= n.liveThreads() {
-				t.sendArrival(epoch)
-			}
 		}
+		// Re-evaluate on every wake: a sibling thread finishing its body
+		// (it will never arrive, so this waiter may now be the node's
+		// last live arriver — a migrated thread replaying a shortened
+		// barrier sequence exits exactly this way), or a recovery wiping
+		// the in-flight arrival, can complete the node's episode with no
+		// new arrival ever calling Barrier.
+		t.arriveIfReady(epoch)
 	}
 	t.barSeq = epoch
+}
+
+// arriveIfReady performs the node-level release and ships the node's
+// arrival for episode epoch once every live unfinished thread on the
+// node has arrived. It is called from Barrier entry and from every
+// barrier wake, so it must be idempotent: the release pipeline runs
+// when an arrival completes the count and again only if new arrivals
+// landed since (a migrated thread's replayed writes must be committed
+// before the node's arrival ships them — but a recovery that merely
+// wiped the in-flight arrival message triggers a bare resend, not a
+// re-release), barSentEpoch ensures one arrival ships, and barArriving
+// keeps concurrent waiters out while the releasing thread is blocked
+// inside the pipeline — a second sendArrival would overwrite the first
+// at the master and lose its update lists.
+func (t *Thread) arriveIfReady(epoch int64) {
+	n := t.node
+	if int64(n.barEpoch) >= epoch || n.barSentEpoch >= epoch || n.barArriving {
+		return
+	}
+	if n.barCount[epoch] < n.liveThreads() {
+		return
+	}
+	n.barArriving = true
+	defer func() { n.barArriving = false }()
+	if n.barReleasedEpoch < epoch || n.barReleasedCount != n.barCount[epoch] {
+		n.barReleasedEpoch = epoch
+		n.barReleasedCount = n.barCount[epoch]
+		t.performRelease(nil)
+	}
+	if n.barSentEpoch < epoch && int64(n.barEpoch) < epoch {
+		t.sendArrival(epoch)
+	}
 }
 
 // liveThreads returns the number of unfinished live threads currently on
@@ -144,6 +174,11 @@ func (n *node) masterArrive(a *barArrive) {
 	n.masterDone = a.Epoch
 	n.cl.stats.BarrierEpisodes++
 	delete(n.masterArrivals, a.Epoch)
+	// Boundary: the master has merged the episode but broadcast nothing
+	// yet. A master killed here strands every member mid-barrier with the
+	// release undelivered — recovery must replace the master and resend
+	// arrivals against the new membership.
+	n.cl.trace(obs.KBarrierRelease, n.id, -1, int64(a.Epoch))
 	for _, nd := range n.cl.nodes {
 		if nd.excluded || nd.id == n.id {
 			continue

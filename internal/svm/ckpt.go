@@ -103,7 +103,7 @@ func (t *Thread) saveThreadState(s *Thread) {
 		}
 		if errors.Is(err, vmmc.ErrNodeDead) {
 			// The backup died; recover and resend to the new backup.
-			t.joinRecovery()
+			t.joinRecoveryErr(err)
 			continue
 		}
 		panic(fmt.Sprintf("svm: checkpoint deposit: %v", err))

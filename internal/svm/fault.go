@@ -298,7 +298,7 @@ func (t *Thread) fetchUpdates(target proto.VectorTime) {
 		t.endWait(CompProtocol, t0)
 		if err != nil {
 			if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {
-				t.joinRecovery()
+				t.joinRecoveryErr(err)
 				// Recovery merged the replicated lists; re-check remaining.
 				continue
 			}

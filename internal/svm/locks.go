@@ -177,7 +177,7 @@ func (t *Thread) pollingAcquire(l int) proto.VectorTime {
 
 		rep, err := t.lockReadVector(l, prim)
 		if err != nil {
-			t.joinRecovery()
+			t.joinRecoveryErr(err)
 			continue
 		}
 		sole := len(rep.Holders) == 1 && rep.Holders[0] == n.id
@@ -262,7 +262,7 @@ func (t *Thread) nicAcquire(l int) proto.VectorTime {
 			t.endWait(CompLock, t0)
 			if err != nil {
 				if errors.Is(err, vmmc.ErrNodeDead) || errors.Is(err, vmmc.ErrAborted) {
-					t.joinRecovery()
+					t.joinRecoveryErr(err)
 					continue
 				}
 				panic(fmt.Sprintf("svm: nic lock %d: %v", l, err))

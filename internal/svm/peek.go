@@ -36,6 +36,39 @@ func (cl *Cluster) PeekBytes(addr, n int) []byte {
 	return out
 }
 
+// PeekLiveBytes is PeekBytes restricted to live nodes: when a page's
+// primary home is dead, the secondary home's tentative copy — the
+// survivor's replica of the committed state — is read instead. This is
+// the inspector for runs that end with an undetected failure (a node
+// killed after its last protocol obligation): a real system could never
+// read a crashed machine's DRAM, so neither does the consistency check.
+func (cl *Cluster) PeekLiveBytes(addr, n int) []byte {
+	if cl.opt.Mode != ModeFT {
+		return cl.PeekBytes(addr, n)
+	}
+	out := make([]byte, n)
+	psz := cl.cfg.PageSize
+	for i := 0; i < n; {
+		pid := (addr + i) / psz
+		off := (addr + i) % psz
+		chunk := psz - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		var buf []byte
+		if home := cl.pageHomes.Primary(pid); !cl.nodes[home].dead {
+			buf = cl.nodes[home].pt.pages[pid].committed
+		} else if sec := cl.pageHomes.Secondary(pid); !cl.nodes[sec].dead {
+			buf = cl.nodes[sec].pt.pages[pid].tentative
+		}
+		if buf != nil {
+			copy(out[i:i+chunk], buf[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
 // PeekU32 reads the authoritative 4-byte word at addr.
 func (cl *Cluster) PeekU32(addr int) uint32 {
 	return binary.LittleEndian.Uint32(cl.PeekBytes(addr, 4))

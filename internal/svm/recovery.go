@@ -112,6 +112,30 @@ func (t *Thread) joinRecovery() {
 	t.participateRecovery()
 }
 
+// joinRecoveryErr enters recovery from a communication error that names
+// the failed peers. A fence joins one error per dead destination
+// (vmmc.DeadNodes recovers the set): every one of them is reported, not
+// just the first — with two distinct dead peers in one fence the second
+// report is the simultaneous failure the single-failure model must
+// refuse (§4.1), and inspecting only the first error would mask it until
+// a later probe sweep happened to find the other. The confirmation is
+// also fed to the probe-mode membership state, saving the probe rounds a
+// full liveness sweep would spend re-discovering what the fence already
+// proved. Errors naming no node (ErrAborted, a recovery-yield) fall back
+// to the probing sweep.
+func (t *Thread) joinRecoveryErr(err error) {
+	dead := vmmc.DeadNodes(err)
+	if len(dead) == 0 {
+		t.probeCluster()
+	} else {
+		for _, id := range dead {
+			t.cl.net.ConfirmDead(id)
+			t.cl.reportFailure(id)
+		}
+	}
+	t.participateRecovery()
+}
+
 // participateRecovery is the recovery barrier. Every live thread lands
 // here (from safe points, aborted waits, or communication errors); the
 // last arriver becomes the coordinator and performs the recovery actions

@@ -35,7 +35,8 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 	maskChunks := (cfg.PageSize + mem.ChunkBytes - 1) >> mem.ChunkShift
 	var caps []capturedDiff
 	var pages []int
-	var retained []int // pages with deferred sibling words: stay dirty
+	var retained []int     // pages with deferred sibling words: stay dirty
+	var logged []*mem.Diff // every committed diff, for the commit sink
 	diffBytes := 0
 	n.commitSeq++
 	for _, pid := range n.dirty {
@@ -115,6 +116,9 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 			t.cl.stats.HomePagesDiffed++
 		}
 		pages = append(pages, pid)
+		if t.cl.commitSink != nil {
+			logged = append(logged, d)
+		}
 		if ft || t.cl.pageHomes.Primary(pid) != n.id {
 			cd := capturedDiff{pid: pid, diff: d}
 			if ft {
@@ -151,6 +155,9 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 	n.intervals = append(n.intervals, proto.UpdateList{Node: n.id, Interval: itv, Pages: pages})
 	n.vt[n.id] = itv
 	t.cl.stats.Intervals++
+	if sink := t.cl.commitSink; sink != nil {
+		sink(n.id, itv, n.vt.Clone(), logged)
+	}
 	for _, pid := range pages {
 		n.pt.pages[pid].lastLocalItv = itv
 	}
@@ -498,7 +505,7 @@ func (t *Thread) propagateSinglePhase(caps []capturedDiff, itv int32) {
 			return
 		}
 		if errors.Is(err, vmmc.ErrNodeDead) {
-			t.joinRecovery()
+			t.joinRecoveryErr(err)
 			continue
 		}
 		panic(fmt.Sprintf("svm: single-phase propagation: %v", err))
@@ -556,7 +563,7 @@ func (t *Thread) propagatePhase(caps []capturedDiff, itv int32, phase int) {
 			return
 		}
 		if errors.Is(err, vmmc.ErrNodeDead) {
-			t.joinRecovery()
+			t.joinRecoveryErr(err)
 			continue // homes were reassigned; resend the phase
 		}
 		panic(fmt.Sprintf("svm: phase %d propagation: %v", phase, err))
@@ -622,7 +629,7 @@ func (t *Thread) saveTimestamp(itv int32, caps []capturedDiff) {
 			return
 		}
 		if errors.Is(err, vmmc.ErrNodeDead) {
-			t.joinRecovery()
+			t.joinRecoveryErr(err)
 			continue // backup reassigned; save again
 		}
 		panic(fmt.Sprintf("svm: timestamp save: %v", err))

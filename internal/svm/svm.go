@@ -175,6 +175,10 @@ type Cluster struct {
 	flight   *obs.Recorder
 	aud      *auditor
 	auditErr error
+
+	// commitSink, when set, observes every committed interval (see
+	// SetCommitSink). Nil by default: the commit path pays one branch.
+	commitSink CommitSink
 }
 
 // node is one SMP node: a set of threads sharing a page table and the
@@ -222,6 +226,9 @@ type node struct {
 	barEpoch         int           // last completed episode
 	barCount         map[int64]int // per-episode local arrivals
 	barSentEpoch     int64         // episode for which the node arrival was sent
+	barReleasedEpoch int64         // episode for which the node release ran (survives recovery)
+	barReleasedCount int           // arrival count covered by that release (new arrivals re-release)
+	barArriving      bool          // a thread is mid release-and-arrive for this node
 	barGate          sim.Gate
 	barRelease       *barRelease
 	barSentIntervals int // own intervals already shipped in barrier arrivals
@@ -427,6 +434,62 @@ func (cl *Cluster) EnableFlightRecorder(perNode int) *obs.Recorder {
 
 // FlightRecorder returns the attached recorder, or nil.
 func (cl *Cluster) FlightRecorder() *obs.Recorder { return cl.flight }
+
+// EnableWireTrace extends the flight recorder to wire-level boundaries:
+// every vmmc message send (KMsgSend) and processed delivery
+// (KMsgDeliver). Requires EnableFlightRecorder first; call before Run.
+// Off by default — wire events outnumber protocol milestones by orders
+// of magnitude and would flood the post-mortem rings, so only boundary
+// enumeration (internal/explore) turns them on.
+func (cl *Cluster) EnableWireTrace() {
+	if cl.flight == nil {
+		panic("svm: EnableWireTrace requires EnableFlightRecorder")
+	}
+	cl.net.SetFlightRecorder(cl.flight)
+}
+
+// CommitSink observes one committed interval: the committing node, the
+// interval index it just opened (node's own vector entry after the
+// commit), a snapshot of the node's vector time, and the captured diffs
+// — everything a replay oracle needs to rebuild the interval's effect on
+// a reference store. The diffs are the live protocol objects: the sink
+// must not mutate them and must clone what it retains.
+type CommitSink func(node int, interval int32, vt proto.VectorTime, diffs []*mem.Diff)
+
+// SetCommitSink installs fn to run at every interval commit, before the
+// interval propagates anywhere. Call before Run; pass nil to detach.
+func (cl *Cluster) SetCommitSink(fn CommitSink) { cl.commitSink = fn }
+
+// RecoveryPending reports whether a failure has been reported and its
+// recovery episode has not yet completed.
+func (cl *Cluster) RecoveryPending() bool { return cl.rec.pending }
+
+// NodeDead reports whether node id has fail-stopped.
+func (cl *Cluster) NodeDead(id int) bool { return cl.nodes[id].dead }
+
+// Nodes returns the cluster size (including failed nodes).
+func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
+
+// NumPages returns the number of shared pages.
+func (cl *Cluster) NumPages() int { return cl.pageHomes.Items() }
+
+// PageSize returns the shared-page size in bytes.
+func (cl *Cluster) PageSize() int { return cl.cfg.PageSize }
+
+// LiveVT returns the merge of every live node's vector time — the final
+// consistency frontier after a run. A failed node's entry is its saved
+// (arbitrated) timestamp: recovery's global sync clamps the dead entry
+// to the roll-forward/roll-back decision and merges it everywhere, so
+// intervals beyond it were rolled back and never became visible.
+func (cl *Cluster) LiveVT() proto.VectorTime {
+	vt := proto.NewVector(cl.cfg.Nodes)
+	for _, n := range cl.nodes {
+		if !n.dead {
+			vt.Merge(n.vt)
+		}
+	}
+	return vt
+}
 
 // Metrics returns the unified counter snapshot: protocol stats,
 // network traffic, and checkpoint counts under dotted prefixes.

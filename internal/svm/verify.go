@@ -43,3 +43,54 @@ func (cl *Cluster) VerifyReplicas() error {
 	}
 	return nil
 }
+
+// VerifyAvailability audits the weaker invariant that holds when a node
+// has fail-stopped after its last protocol obligation and no survivor
+// has observed the death (no recovery episode ran): every page still
+// has at least one live home holding its committed state, so a future
+// access — which would trigger detection and recovery — can rebuild
+// full replication without data loss. Pages with both homes live are
+// held to the full VerifyReplicas contract; a page whose only intact
+// copy sits on the dead node is exactly the durability loss the dual
+// homes exist to prevent. Returns nil for ModeBase clusters.
+func (cl *Cluster) VerifyAvailability() error {
+	if cl.opt.Mode != ModeFT {
+		return nil
+	}
+	for p := 0; p < cl.pageHomes.Items(); p++ {
+		P := cl.pageHomes.Primary(p)
+		S := cl.pageHomes.Secondary(p)
+		if P == S {
+			return fmt.Errorf("page %d: replicas colocated on node %d", p, P)
+		}
+		if cl.nodes[P].dead && cl.nodes[S].dead {
+			return fmt.Errorf("page %d: both homes dead (P=%d S=%d)", p, P, S)
+		}
+		pgP := cl.nodes[P].pt.pages[p]
+		pgS := cl.nodes[S].pt.pages[p]
+		switch {
+		case cl.nodes[P].dead:
+			if pgP.committed != nil && pgS.tentative == nil {
+				return fmt.Errorf("page %d: only copy was on dead primary %d", p, P)
+			}
+		case cl.nodes[S].dead:
+			if pgS.tentative != nil && pgP.committed == nil {
+				return fmt.Errorf("page %d: only copy was on dead secondary %d", p, S)
+			}
+		default:
+			if pgP.committed == nil && pgS.tentative == nil {
+				continue
+			}
+			if pgP.committed == nil || pgS.tentative == nil {
+				return fmt.Errorf("page %d: one replica missing", p)
+			}
+			for i := range pgP.committed {
+				if pgP.committed[i] != pgS.tentative[i] {
+					return fmt.Errorf("page %d: replicas diverge at byte %d (committed %d vs tentative %d)",
+						p, i, pgP.committed[i], pgS.tentative[i])
+				}
+			}
+		}
+	}
+	return nil
+}

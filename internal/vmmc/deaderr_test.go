@@ -1,0 +1,65 @@
+package vmmc
+
+import (
+	"errors"
+	"testing"
+
+	"ftsvm/internal/sim"
+)
+
+// TestDeadNodesFromJoinedFence pins the structured side of the
+// multi-peer fence contract: DeadNodes recovers every failed destination
+// from the joined error — repeated posts to the same dead peer collapse
+// to one entry, live peers never appear. Recovery's simultaneous-failure
+// refusal depends on the full set, not the textually-first error.
+func TestDeadNodesFromJoinedFence(t *testing.T) {
+	eng, net, _ := testNet(4)
+	net.Kill(1)
+	net.Kill(2)
+	var ferr error
+	eng.Spawn("sender", func(p *sim.Proc) {
+		net.Endpoint(0).Post(p, 1, 100, "a")
+		net.Endpoint(0).Post(p, 2, 100, "b")
+		net.Endpoint(0).Post(p, 1, 100, "a2") // same dead peer again
+		net.Endpoint(0).Post(p, 3, 100, "c")  // live peer
+		ferr = net.Endpoint(0).Fence(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dead := DeadNodes(ferr); len(dead) != 2 || dead[0] != 1 || dead[1] != 2 {
+		t.Fatalf("DeadNodes = %v, want [1 2]", dead)
+	}
+}
+
+// TestDeadNodesOnRequestError: a request failure carries the destination
+// through the same extraction path as fence errors.
+func TestDeadNodesOnRequestError(t *testing.T) {
+	eng, net, _ := testNet(2)
+	net.Kill(1)
+	var rerr error
+	eng.Spawn("caller", func(p *sim.Proc) {
+		_, rerr = net.Endpoint(0).Request(p, 1, 16, "q")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dead := DeadNodes(rerr); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadNodes = %v, want [1]", dead)
+	}
+}
+
+// TestDeadNodesIgnoresForeignErrors: nil and unrelated errors extract to
+// an empty set; a mixed join only yields the DeadError members.
+func TestDeadNodesIgnoresForeignErrors(t *testing.T) {
+	if got := DeadNodes(nil); len(got) != 0 {
+		t.Fatalf("DeadNodes(nil) = %v", got)
+	}
+	if got := DeadNodes(errors.New("unrelated")); len(got) != 0 {
+		t.Fatalf("DeadNodes(unrelated) = %v", got)
+	}
+	joined := errors.Join(errors.New("x"), &DeadError{Node: 3, Op: "post"})
+	if got := DeadNodes(joined); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("DeadNodes(mixed join) = %v, want [3]", got)
+	}
+}
