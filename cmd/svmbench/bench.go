@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"ftsvm/internal/explore"
 	"ftsvm/internal/harness"
 	"ftsvm/internal/model"
 	"ftsvm/internal/svm"
@@ -24,10 +26,26 @@ type benchCell struct {
 	Msgs           int64   `json:"msgs"`
 	Bytes          int64   `json:"bytes"`
 	WallMs         float64 `json:"wall_ms"`
+	// EngineWorkers is the number of engine workers the cell actually
+	// used (1 = serial engine; absent in older reports).
+	EngineWorkers int `json:"engine_workers,omitempty"`
 	// Metrics is the unified obs registry snapshot (svm.*, ckpt.*,
 	// vmmc.* counters) — deterministic like vms/msgs, but informational:
 	// -compare diffs only the headline virtual metrics.
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// benchSweep is one timed svmfi-style sweep (explore.Record once, then
+// explore.Sweep over every boundary on a worker pool) — the sweep
+// scheduler's wall measurement. Informational; -compare ignores it.
+type benchSweep struct {
+	Apps       string  `json:"apps"`
+	Boundaries int     `json:"boundaries"`
+	Workers    int     `json:"workers"`
+	WallMs     float64 `json:"wall_ms"`
+	// SpeedupVsSerial is this run's serial wall over its own; only
+	// meaningful when the host has cores to spare (see NumCPU).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // benchReport is the machine-readable artifact written by -json and read
@@ -37,28 +55,40 @@ type benchReport struct {
 	Nodes int    `json:"nodes"`
 	// Detection is the failure-detector mode the grid ran with; absent
 	// (older reports) means oracle.
-	Detection   string      `json:"detection,omitempty"`
-	GoMaxProcs  int         `json:"gomaxprocs"`
-	TotalWallMs float64     `json:"total_wall_ms"`
-	AllocBytes  uint64      `json:"alloc_bytes"`
-	Allocs      uint64      `json:"allocs"`
+	Detection  string `json:"detection,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU is the host's usable CPU count — wall figures (and any
+	// parallel speedup) are only interpretable against it.
+	NumCPU      int     `json:"num_cpu,omitempty"`
+	TotalWallMs float64 `json:"total_wall_ms"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Allocs      uint64  `json:"allocs"`
 	// Reps is how many times the grid ran (-benchwall); wall figures are
 	// the fastest repetition. Absent (older reports) means 1.
 	Reps int `json:"reps,omitempty"`
 	// FullTwins records that the grid ran with tracked diffing disabled.
-	FullTwins bool        `json:"full_twins,omitempty"`
-	Cells     []benchCell `json:"cells"`
+	FullTwins bool `json:"full_twins,omitempty"`
+	// EngineMode and EngineWorkers record the simulation engine the grid
+	// requested: "serial" (absent in older reports), "parallel" with the
+	// per-simulation lane worker count, or "mixed" when -workers listed
+	// several counts (each cell then carries its own engine_workers).
+	EngineMode    string `json:"engine_mode,omitempty"`
+	EngineWorkers int    `json:"engine_workers,omitempty"`
+	// Sweeps holds timed failure-point sweeps (-sweep), one entry per
+	// worker count.
+	Sweeps []benchSweep `json:"sweeps,omitempty"`
+	Cells  []benchCell  `json:"cells"`
 }
 
 // benchGrid is the app x mode x {1,2 threads} grid the figures run.
-func benchGrid(sz harness.Size, nodes int, det model.DetectionMode, fullTwins bool) []harness.Config {
+func benchGrid(sz harness.Size, nodes int, det model.DetectionMode, fullTwins bool, workers int) []harness.Config {
 	var cells []harness.Config
 	for _, tpn := range []int{1, 2} {
 		for _, app := range harness.AppNames {
 			for _, mode := range []svm.Mode{svm.ModeBase, svm.ModeFT} {
 				cells = append(cells, harness.Config{
 					App: app, Size: sz, Mode: mode, Nodes: nodes, ThreadsPerNode: tpn,
-					Detection: det, FullTwins: fullTwins,
+					Detection: det, FullTwins: fullTwins, Workers: workers,
 				})
 			}
 		}
@@ -68,12 +98,17 @@ func benchGrid(sz harness.Size, nodes int, det model.DetectionMode, fullTwins bo
 
 // runBenchJSON runs the figure grid (reps times, keeping the fastest
 // repetition's wall figures — the standard defense against host noise)
-// and writes the report to path.
-func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMode, reps int, fullTwins bool) error {
+// once per entry in workersList, and writes one report covering every
+// engine configuration to path. sweepApps, when non-empty, additionally
+// times a full failure-point sweep of those apps at each worker count.
+func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMode, reps int, fullTwins bool, workersList []int, sweepApps string) error {
 	if reps < 1 {
 		reps = 1
 	}
-	cells := benchGrid(sz, nodes, det, fullTwins)
+	var cells []harness.Config
+	for _, w := range workersList {
+		cells = append(cells, benchGrid(sz, nodes, det, fullTwins, w)...)
+	}
 	var results []harness.Result
 	var wall time.Duration
 	var allocBytes, allocs uint64
@@ -100,11 +135,27 @@ func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMo
 		Nodes:       nodes,
 		Detection:   det.String(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		TotalWallMs: float64(wall) / 1e6,
 		AllocBytes:  allocBytes,
 		Allocs:      allocs,
 		Reps:        reps,
 		FullTwins:   fullTwins,
+	}
+	switch {
+	case len(workersList) > 1:
+		rep.EngineMode = "mixed"
+	case workersList[0] > 1:
+		rep.EngineMode, rep.EngineWorkers = "parallel", workersList[0]
+	default:
+		rep.EngineMode, rep.EngineWorkers = "serial", 1
+	}
+	if sweepApps != "" {
+		sweeps, err := runTimedSweeps(sweepApps, workersList)
+		if err != nil {
+			return err
+		}
+		rep.Sweeps = sweeps
 	}
 	for i, r := range results {
 		if r.Err != nil {
@@ -119,6 +170,7 @@ func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMo
 			Msgs:           r.MsgsSent,
 			Bytes:          r.BytesSent,
 			WallMs:         float64(r.WallNs) / 1e6,
+			EngineWorkers:  r.EngineWorkers,
 			Metrics:        r.Metrics.Map(),
 		})
 	}
@@ -135,11 +187,73 @@ func runBenchJSON(path string, sz harness.Size, nodes int, det model.DetectionMo
 	return nil
 }
 
+// runTimedSweeps times the svmfi sweep scheduler: each app's workload is
+// recorded once, then the full boundary set is swept (one injection run
+// per boundary, serial engine inside each run) on a pool of each listed
+// worker count. A serial pass is always included as the speedup
+// reference. The sweep cluster is pinned to the svmfi acceptance shape
+// (small, 4 nodes) rather than inheriting the grid's -nodes, so the
+// boundary count matches the exhaustive sweep documented in DESIGN §8.
+func runTimedSweeps(appsCSV string, workersList []int) ([]benchSweep, error) {
+	counts := []int{1}
+	for _, w := range workersList {
+		if w > 1 {
+			counts = append(counts, w)
+		}
+	}
+	type rec struct {
+		sp explore.Spec
+		bs []explore.Boundary
+		bg int64
+	}
+	var recs []rec
+	total := 0
+	for _, app := range strings.Split(appsCSV, ",") {
+		app = strings.TrimSpace(app)
+		if app == "" {
+			continue
+		}
+		sp := harness.ExploreSpec(harness.Config{
+			App: app, Size: harness.SizeSmall, Nodes: 4, ThreadsPerNode: 1,
+		})
+		tr, err := explore.Record(sp)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s: %w", app, err)
+		}
+		recs = append(recs, rec{sp, tr.Boundaries, tr.Budget()})
+		total += len(tr.Boundaries)
+	}
+	var out []benchSweep
+	var serialMs float64
+	for _, workers := range counts {
+		start := time.Now()
+		for _, r := range recs {
+			vs := explore.Sweep(r.sp, r.bs, r.bg, workers, nil)
+			for i, v := range vs {
+				if !v.Pass {
+					return nil, fmt.Errorf("sweep %s at %s: %s", r.sp.Name, r.bs[i].ID(), v.Err)
+				}
+			}
+		}
+		wallMs := float64(time.Since(start)) / 1e6
+		s := benchSweep{Apps: appsCSV, Boundaries: total, Workers: workers, WallMs: wallMs}
+		if workers == 1 {
+			serialMs = wallMs
+		} else if serialMs > 0 {
+			s.SpeedupVsSerial = serialMs / wallMs
+		}
+		out = append(out, s)
+		fmt.Printf("  sweep %s: %d boundaries, %d worker(s), %.1f s\n",
+			appsCSV, total, workers, wallMs/1e3)
+	}
+	return out, nil
+}
+
 // runBenchCompare re-runs every cell recorded in oldPath and prints the
 // per-cell deltas. The virtual metrics must not move (they are deterministic
 // protocol outputs — any delta flags a behavior change); wall time is the
 // simulator speedup/regression.
-func runBenchCompare(oldPath string, fullTwins bool) error {
+func runBenchCompare(oldPath string, fullTwins bool, workers int) error {
 	blob, err := os.ReadFile(oldPath)
 	if err != nil {
 		return err
@@ -160,10 +274,17 @@ func runBenchCompare(oldPath string, fullTwins bool) error {
 		if c.Mode != svm.ModeBase.String() {
 			mode = svm.ModeFT
 		}
+		// -workers > 1 overrides the recorded engine (checking parallel
+		// bit-identity against a serial recording); otherwise each cell
+		// replays on the engine it was recorded with.
+		w := workers
+		if w <= 1 {
+			w = c.EngineWorkers
+		}
 		cells[i] = harness.Config{
 			App: c.App, Size: harness.Size(old.Size), Mode: mode,
 			Nodes: c.Nodes, ThreadsPerNode: c.ThreadsPerNode,
-			Detection: det, FullTwins: fullTwins,
+			Detection: det, FullTwins: fullTwins, Workers: w,
 		}
 	}
 	start := time.Now()

@@ -24,6 +24,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"ftsvm/internal/apps"
 	"ftsvm/internal/harness"
@@ -43,6 +45,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchwall := flag.Int("benchwall", 1, "repetitions of the -json grid; the report records the fastest")
 	fulltwins := flag.Bool("fulltwins", false, "disable write-set tracked diffing (full-page twins and scans)")
+	workers := flag.String("workers", "1", "engine workers per simulation: 1 serial, >1 conservative parallel lanes; -json accepts a comma list (e.g. 1,4) covering each engine in one report")
+	sweep := flag.String("sweep", "", "with -json: also time a full failure-point sweep of these apps (comma-separated) at each -workers count")
 	flag.Parse()
 
 	sz := harness.Size(*size)
@@ -51,6 +55,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 		os.Exit(2)
+	}
+	var workersList []int
+	for _, f := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "svmbench: bad -workers %q\n", *workers)
+			os.Exit(2)
+		}
+		workersList = append(workersList, w)
 	}
 
 	if *cpuprofile != "" {
@@ -81,14 +94,18 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut, sz, *nodes, det, *benchwall, *fulltwins); err != nil {
+		if err := runBenchJSON(*jsonOut, sz, *nodes, det, *benchwall, *fulltwins, workersList, *sweep); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *compare != "" {
-		if err := runBenchCompare(*compare, *fulltwins); err != nil {
+		if len(workersList) != 1 {
+			fmt.Fprintf(os.Stderr, "svmbench: -compare takes a single -workers count\n")
+			os.Exit(2)
+		}
+		if err := runBenchCompare(*compare, *fulltwins, workersList[0]); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 			os.Exit(1)
 		}

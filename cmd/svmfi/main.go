@@ -8,9 +8,17 @@
 // Usage:
 //
 //	svmfi -app counter,falseshare -size small -nodes 4
-//	svmfi -app counter -budget 200 -shard 8 -json
+//	svmfi -app counter -budget 200 -workers 8 -json
+//	svmfi -app counter -shard 1/4 -json     # machine 2 of 4
 //	svmfi -app counter -kinds release.phase1,ckpt.A
 //	svmfi -app counter -boundary 'release.phase1@n2#3'
+//
+// The workload is recorded once per app; the sweep then re-executes it
+// on a pool of -workers goroutines, each injection run owning a fresh
+// engine. NDJSON verdicts are emitted in boundary order regardless of
+// completion order. -shard i/n keeps only every n-th boundary starting
+// at i, so n machines running the same command with shards 0/n..n-1/n
+// together cover the full sweep.
 //
 // Every failing verdict is reproducible from (app config, boundary id,
 // seed): rerun it with -boundary.
@@ -39,7 +47,8 @@ func main() {
 	detect := flag.String("detect", "oracle", "failure detection: oracle, probe")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	budget := flag.Int("budget", 0, "cap the sweep at this many boundaries, evenly sampled (0: exhaustive)")
-	shard := flag.Int("shard", 0, "parallel injection runs (0: GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel injection runs (0: GOMAXPROCS)")
+	shard := flag.String("shard", "", "multi-machine split i/n: sweep only boundaries with index = i mod n")
 	kinds := flag.String("kinds", "", "restrict to these boundary kinds (comma-separated)")
 	boundary := flag.String("boundary", "", "explore a single boundary id (kind@nN#occ) and print its verdict")
 	jsonOut := flag.Bool("json", false, "emit one JSON verdict per line instead of a summary")
@@ -54,6 +63,11 @@ func main() {
 	if *detect == "probe" {
 		det = model.DetectProbe
 	}
+	shardI, shardN, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svmfi: %v\n", err)
+		os.Exit(2)
+	}
 
 	failed := 0
 	for _, app := range strings.Split(*appsFlag, ",") {
@@ -67,16 +81,30 @@ func main() {
 			LockAlgo: svm.LockPolling, Detection: det,
 			Overrides: func(cfg *model.Config) { cfg.Seed = *seed },
 		})
-		failed += sweepApp(sp, *boundary, *budget, *shard, *kinds, *jsonOut, *verbose)
+		failed += sweepApp(sp, *boundary, *budget, *workers, shardI, shardN, *kinds, *jsonOut, *verbose)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
+// parseShard parses the -shard value "i/n" (empty: no split).
+func parseShard(s string) (i, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n, e.g. 0/4", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
 // sweepApp records one workload's boundaries and explores them,
 // returning the number of failed verdicts.
-func sweepApp(sp explore.Spec, boundary string, budget, shard int, kinds string, jsonOut, verbose bool) int {
+func sweepApp(sp explore.Spec, boundary string, budget, workers, shardI, shardN int, kinds string, jsonOut, verbose bool) int {
 	t0 := time.Now()
 	tr, err := explore.Record(sp)
 	if err != nil {
@@ -108,6 +136,7 @@ func sweepApp(sp explore.Spec, boundary string, budget, shard int, kinds string,
 			return 1
 		}
 	}
+	bs = explore.Shard(bs, shardI, shardN)
 	total := len(bs)
 	if budget > 0 && budget < total {
 		bs = explore.Sample(bs, budget)
@@ -123,7 +152,7 @@ func sweepApp(sp explore.Spec, boundary string, budget, shard int, kinds string,
 			fmt.Printf("  [%d/%d] %s %s\n", done, len(bs), strings.Join(v.Schedule, ","), status)
 		}
 	}
-	vs := explore.Sweep(sp, bs, tr.Budget(), shard, progress)
+	vs := explore.Sweep(sp, bs, tr.Budget(), workers, progress)
 
 	failed := 0
 	enc := json.NewEncoder(os.Stdout)
@@ -139,8 +168,8 @@ func sweepApp(sp explore.Spec, boundary string, budget, shard int, kinds string,
 		}
 	}
 	if !jsonOut {
-		fmt.Printf("%s: %d/%d boundaries pass (%d recorded, %d swept, %.1fs)\n",
-			sp.Name, len(vs)-failed, len(vs), total, len(vs), time.Since(t0).Seconds())
+		fmt.Printf("%s: %d/%d boundaries pass (%d recorded, %d eligible, %d swept, %.1fs)\n",
+			sp.Name, len(vs)-failed, len(vs), len(tr.Boundaries), total, len(vs), time.Since(t0).Seconds())
 		if verbose {
 			fmt.Printf("  kinds: %s\n", explore.KindHistogram(tr.Boundaries))
 		}

@@ -20,6 +20,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ftsvm/internal/svm"
 )
@@ -34,20 +35,32 @@ type Workload struct {
 	HomeAssign func(page int) int
 	Body       func(t *svm.Thread)
 
-	// failure is the first verification error. Thread bodies run one at a
-	// time in the cooperative simulation, so a plain field suffices.
+	// failure is the first verification error. Thread bodies on different
+	// nodes run concurrently under the parallel engine, so the field is
+	// mutex-guarded; verification is the only host-shared state a
+	// workload body touches.
+	mu      sync.Mutex
 	failure error
 }
 
 // Fail records a verification failure (first one wins).
 func (w *Workload) Fail(err error) {
-	if err != nil && w.failure == nil {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.failure == nil {
 		w.failure = err
 	}
+	w.mu.Unlock()
 }
 
 // Err returns the recorded verification failure, if any.
-func (w *Workload) Err() error { return w.failure }
+func (w *Workload) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failure
+}
 
 // failf formats and records a verification failure.
 func (w *Workload) failf(format string, args ...any) {

@@ -104,6 +104,43 @@ func TestSweepSampledBoundariesPass(t *testing.T) {
 	}
 }
 
+// TestShardPartition: the i/n shards must partition the boundary list —
+// every boundary in exactly one shard, order preserved within each —
+// so n machines sweeping shards 0..n-1 together cover one full sweep.
+func TestShardPartition(t *testing.T) {
+	tr := baseline(t)
+	bs := tr.Boundaries
+	for _, n := range []int{1, 3, 4, 7} {
+		seen := make(map[string]int)
+		for i := 0; i < n; i++ {
+			sh := explore.Shard(bs, i, n)
+			last := -1
+			for _, b := range sh {
+				seen[b.ID()]++
+				idx := -1
+				for k := range bs {
+					if bs[k] == b {
+						idx = k
+						break
+					}
+				}
+				if idx <= last {
+					t.Fatalf("n=%d shard %d: boundary %s out of input order", n, i, b.ID())
+				}
+				last = idx
+			}
+		}
+		if len(seen) != len(bs) {
+			t.Fatalf("n=%d: shards cover %d of %d boundaries", n, len(seen), len(bs))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: boundary %s appears in %d shards", n, id, c)
+			}
+		}
+	}
+}
+
 // TestVerdictReproducible: the reproduction contract — (app, boundary,
 // seed) fully determines the run, down to a bit-identical fingerprint.
 func TestVerdictReproducible(t *testing.T) {

@@ -6,21 +6,23 @@ import (
 	"sync/atomic"
 )
 
-// Sweep runs one injection per boundary, in parallel on up to shards
-// workers (shards <= 0: GOMAXPROCS), and returns the verdicts in input
-// order. Every injection run owns a fresh instance — engine, cluster,
-// workload — so the shard count changes wall-clock time only, never a
-// verdict. progress, when non-nil, is called once per completed run
-// (serialized, in completion order).
-func Sweep(sp Spec, bs []Boundary, budget int64, shards int, progress func(done int, v Verdict)) []Verdict {
+// Sweep runs one injection per boundary on a pool of up to workers
+// goroutines (workers <= 0: GOMAXPROCS), and returns the verdicts in
+// input order. Every injection run owns a fresh instance — engine,
+// cluster, workload — so the worker count changes wall-clock time only,
+// never a verdict, and callers that emit verdicts by iterating the
+// returned slice get a stable order regardless of completion order.
+// progress, when non-nil, is called once per completed run (serialized,
+// in completion order).
+func Sweep(sp Spec, bs []Boundary, budget int64, workers int, progress func(done int, v Verdict)) []Verdict {
 	out := make([]Verdict, len(bs))
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if shards > len(bs) {
-		shards = len(bs)
+	if workers > len(bs) {
+		workers = len(bs)
 	}
-	if shards <= 1 {
+	if workers <= 1 {
 		for i, b := range bs {
 			out[i] = Explore(sp, b, budget)
 			if progress != nil {
@@ -32,7 +34,7 @@ func Sweep(sp Spec, bs []Boundary, budget int64, shards int, progress func(done 
 	var next, done atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for w := 0; w < shards; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -53,5 +55,22 @@ func Sweep(sp Spec, bs []Boundary, budget int64, shards int, progress func(done 
 		}()
 	}
 	wg.Wait()
+	return out
+}
+
+// Shard selects the i-th of n interleaved slices of bs (every boundary
+// whose index ≡ i mod n), for splitting one sweep across machines: the
+// n shards partition the boundary list, and because boundaries carry
+// stable ids the union of the shards' verdicts equals one full sweep.
+// Interleaving (rather than contiguous ranges) balances the shards, as
+// neighbouring boundaries tend to have similar run costs.
+func Shard(bs []Boundary, i, n int) []Boundary {
+	if n <= 1 {
+		return bs
+	}
+	var out []Boundary
+	for k := i; k < len(bs); k += n {
+		out = append(out, bs[k])
+	}
 	return out
 }

@@ -110,6 +110,10 @@ type Config struct {
 	Chaos *model.Chaos
 	// Overrides tweaks the cost model before the run (ablations).
 	Overrides func(*model.Config)
+	// Workers selects the simulation engine: <= 1 runs the serial engine
+	// (the default), > 1 the conservative parallel engine with that many
+	// lane workers. Virtual metrics are bit-identical either way.
+	Workers int
 }
 
 // Result is one experiment outcome.
@@ -131,7 +135,12 @@ type Result struct {
 	// WallNs is the host wall-clock time the simulation took (a simulator
 	// performance metric; everything else above is virtual).
 	WallNs int64
-	Err    error
+	// EngineWorkers is the number of engine workers the run actually used
+	// (1 when Config.Workers <= 1 or the run fell back to serial);
+	// SerialFallback is the reason for a fallback, "" otherwise.
+	EngineWorkers  int
+	SerialFallback string
+	Err            error
 }
 
 // Run executes one experiment cell.
@@ -212,6 +221,7 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 		AggregateDiffs:    c.AggregateDiffs,
 		UnsafeSinglePhase: c.UnsafeSinglePhase,
 		FullTwins:         c.FullTwins,
+		Workers:           c.Workers,
 	})
 	if err != nil {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}
@@ -226,9 +236,11 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}
 	}
 	r := Result{
-		Config:    c,
-		ExecNs:    cl.ExecTime(),
-		Breakdown: cl.AvgBreakdown(),
+		Config:         c,
+		ExecNs:         cl.ExecTime(),
+		Breakdown:      cl.AvgBreakdown(),
+		EngineWorkers:  cl.EngineWorkers(),
+		SerialFallback: cl.SerialFallbackReason(),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		st := cl.Network().Endpoint(i).Stats()

@@ -48,6 +48,13 @@ type Engine struct {
 
 	executed int64 // events Run has executed so far
 	budget   int64 // when > 0, Run returns a BudgetError after this many events
+
+	// Parallel execution (lane.go). lanes exist on serial engines too once
+	// Lane() has been called (as thin delegates); par is non-nil only after
+	// Parallel() enabled windowed execution.
+	lanes     []*Lane
+	par       *parRun
+	lookahead int64
 }
 
 type event struct {
@@ -61,6 +68,10 @@ type event struct {
 	// wake event.
 	p   *Proc
 	gen uint64
+	// opRef links an event created during a parallel window to the lane op
+	// recording its creation (index+1 into Lane.ops), so the merge can
+	// resolve its true seq. Zero outside parallel windows.
+	opRef int32
 }
 
 // before is the total event order: time, then schedule order. seq is
@@ -151,8 +162,14 @@ func (e *Engine) Now() int64 { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // At schedules fn to run in engine context after delay nanoseconds.
-// A negative delay is treated as zero.
+// A negative delay is treated as zero. On a parallel engine this targets
+// lane 0; lane-resident code must use Lane.At / Lane.Post instead.
 func (e *Engine) At(delay int64, fn func()) {
+	if e.par != nil {
+		ln := e.Lane(0)
+		ln.sched(ln, delay, event{fn: fn})
+		return
+	}
 	e.seq++
 	if delay <= 0 {
 		e.nowq = append(e.nowq, event{t: e.now, seq: e.seq, fn: fn})
@@ -162,8 +179,14 @@ func (e *Engine) At(delay int64, fn func()) {
 }
 
 // wakeAt schedules p.wakeIf(gen) after delay nanoseconds without
-// allocating a closure (see event).
+// allocating a closure (see event). Wakes are always scheduled from the
+// process's own lane context (the process itself, or lane-local code),
+// so they route through the lane scheduler.
 func (e *Engine) wakeAt(delay int64, p *Proc, gen uint64) {
+	if p.ln != nil {
+		p.ln.sched(p.ln, delay, event{p: p, gen: gen})
+		return
+	}
 	e.seq++
 	if delay <= 0 {
 		e.nowq = append(e.nowq, event{t: e.now, seq: e.seq, p: p, gen: gen})
@@ -194,11 +217,20 @@ func (e *Engine) SetEventBudget(n int64) { e.budget = n }
 // event — the event-boundary hook online invariant auditors attach to.
 // The hook must not schedule events; it may call Stop. Pass nil to remove.
 // No hook is installed by default, so the cost is one nil check per event.
-func (e *Engine) SetAfterEvent(fn func()) { e.afterEvent = fn }
+// Incompatible with Parallel: the hook is inherently serial.
+func (e *Engine) SetAfterEvent(fn func()) {
+	if fn != nil && e.par != nil {
+		panic("sim: SetAfterEvent is incompatible with Parallel")
+	}
+	e.afterEvent = fn
+}
 
 // Run executes events until none remain or Stop is called. It returns a
 // DeadlockError if processes are still blocked when the event heap drains.
 func (e *Engine) Run() error {
+	if e.par != nil {
+		return e.runParallel()
+	}
 	for !e.stopped {
 		var ev event
 		if e.nqHead < len(e.nowq) {
@@ -285,6 +317,15 @@ func (e *Engine) deadlock() error {
 	for p := range e.blocked {
 		names = append(names, p.name)
 	}
+	for _, ln := range e.lanes {
+		for p := range ln.blocked {
+			names = append(names, p.name)
+		}
+	}
 	sort.Strings(names)
-	return &DeadlockError{Time: e.now, Procs: names}
+	t := e.now
+	if e.par != nil {
+		t = e.maxLaneNow()
+	}
+	return &DeadlockError{Time: t, Procs: names}
 }

@@ -7,12 +7,15 @@ import "errors"
 var ErrKilled = errors.New("sim: process killed")
 
 // Proc is a simulated process: a goroutine that runs in lock-step with the
-// engine. At most one process executes at a time, so process code needs no
-// data-race protection for state it shares with other processes — only
-// logical critical sections (Mutex) for state invariants that must span
-// blocking calls.
+// engine. At most one process executes at a time on a serial engine; under
+// Parallel, at most one process per lane executes at a time, and all state
+// a process touches must be local to its lane. Process code needs no
+// data-race protection for state it shares with other processes on the
+// same lane — only logical critical sections (Mutex) for state invariants
+// that must span blocking calls.
 type Proc struct {
 	eng    *Engine
+	ln     *Lane
 	name   string
 	resume chan struct{}
 
@@ -26,21 +29,52 @@ type Proc struct {
 	dispatchFn func()
 }
 
-// Spawn starts fn as a new process. The process begins running at the
-// current virtual time, after already-scheduled events at this time.
+// Spawn starts fn as a new process on lane 0. The process begins running
+// at the current virtual time, after already-scheduled events at this time.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	return e.SpawnOn(e.Lane(0), name, fn)
+}
+
+// SpawnOn starts fn as a new process resident on lane ln: all its events
+// execute in that lane. On a serial engine the lane only tags the
+// process; scheduling is unchanged. Must not be called from inside a
+// parallel window.
+func (e *Engine) SpawnOn(ln *Lane, name string, fn func(p *Proc)) *Proc {
+	if ln == nil {
+		ln = e.Lane(0)
+	}
+	if e.par != nil && ln.win {
+		panic("sim: SpawnOn inside a parallel window")
+	}
+	p := &Proc{eng: e, ln: ln, name: name, resume: make(chan struct{})}
 	e.live++
 	go func() {
 		<-p.resume
 		defer func() {
 			p.done = true
+			r := recover()
+			if r == errKilledSentinel {
+				r = nil
+			}
+			if e.par != nil && p.ln.win {
+				// Exiting inside a parallel window: account on the lane; the
+				// merge folds the delta into e.live and the canonical panic
+				// position. yield wakes this lane's executor.
+				p.ln.liveD--
+				delete(p.ln.blocked, p)
+				if r != nil {
+					p.ln.failVal = r
+					p.ln.failProc = p.name
+				}
+				p.ln.yield <- struct{}{}
+				return
+			}
 			e.live--
 			// A process that unwound out of a prepared sleep (kill at park
 			// entry) is still in the blocked set: drop it, or a finished
 			// process would read as deadlocked.
 			e.unblock(p)
-			if r := recover(); r != nil && r != errKilledSentinel {
+			if r != nil {
 				// Hand the panic to the engine goroutine: dispatch re-raises
 				// it there, so it surfaces on Run's caller (where a failure
 				// harness can recover it) instead of crashing the process
@@ -53,15 +87,30 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	p.dispatchFn = func() { e.dispatch(p) }
-	e.At(0, p.dispatchFn)
+	ln.sched(ln, 0, event{fn: p.dispatchFn})
 	return p
 }
 
 var errKilledSentinel = ErrKilled
 
-// dispatch hands control to p and blocks the engine until p parks again.
+// dispatch hands control to p and blocks the dispatching goroutine (the
+// engine, or the lane executor under Parallel) until p parks again.
 func (e *Engine) dispatch(p *Proc) {
 	if p.done {
+		return
+	}
+	if e.par != nil {
+		ln := p.ln
+		prev := ln.current
+		ln.current = p
+		p.resume <- struct{}{}
+		<-ln.yield
+		ln.current = prev
+		if ln.failVal != nil {
+			r, name := ln.failVal, ln.failProc
+			ln.failVal = nil
+			panic(&ProcPanic{Proc: name, Value: r})
+		}
 		return
 	}
 	prev := e.current
@@ -78,7 +127,7 @@ func (e *Engine) dispatch(p *Proc) {
 	}
 }
 
-// park returns control to the engine until the process is resumed.
+// park returns control to the dispatcher until the process is resumed.
 func (p *Proc) park() {
 	if p.killed {
 		// Killed while running (a failure injected from this process's
@@ -89,7 +138,11 @@ func (p *Proc) park() {
 		// dead process blocked forever.
 		panic(errKilledSentinel)
 	}
-	p.eng.yield <- struct{}{}
+	if p.eng.par != nil {
+		p.ln.yield <- struct{}{}
+	} else {
+		p.eng.yield <- struct{}{}
+	}
 	<-p.resume
 	if p.killed {
 		panic(errKilledSentinel)
@@ -102,8 +155,36 @@ func (p *Proc) Name() string { return p.name }
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() int64 { return p.eng.now }
+// Lane returns the lane this process is resident on.
+func (p *Proc) Lane() *Lane { return p.ln }
+
+// Now returns the current virtual time (the process's lane clock under
+// Parallel).
+func (p *Proc) Now() int64 {
+	if p.eng.par != nil {
+		return p.ln.now
+	}
+	return p.eng.now
+}
+
+// Int63n draws from the engine's one deterministic random stream. On a
+// serial engine it is Engine.Rand().Int63n. Under Parallel the draw
+// suspends the lane until the merge reaches this event's canonical
+// position and feeds the value, so the stream is consumed in exactly the
+// serial order regardless of worker count.
+func (p *Proc) Int63n(span int64) int64 {
+	e := p.eng
+	if e.par == nil {
+		return e.rng.Int63n(span)
+	}
+	ln := p.ln
+	ln.suspended = true
+	ln.drawProc = p
+	ln.drawSpan = span
+	ln.yield <- struct{}{}
+	<-p.resume
+	return ln.drawVal
+}
 
 // Killed reports whether Kill has been called on this process.
 func (p *Proc) Killed() bool { return p.killed }
@@ -124,15 +205,15 @@ func (p *Proc) doSleep() {
 
 // wakeIf resumes the process if it is still in the sleep identified by gen.
 // It is a no-op for stale tokens, so multiple wake sources (a value arriving
-// and a timeout) can race harmlessly. Must be called from engine or process
-// context.
+// and a timeout) can race harmlessly. Must be called from the process's
+// own lane context (engine context on a serial engine).
 func (p *Proc) wakeIf(gen uint64) {
 	if !p.waiting || p.sleeps != gen || p.done {
 		return
 	}
 	p.waiting = false
 	p.eng.unblock(p)
-	p.eng.At(0, p.dispatchFn)
+	p.ln.sched(p.ln, 0, event{fn: p.dispatchFn})
 }
 
 // Advance moves the process's virtual time forward by d nanoseconds,
@@ -157,7 +238,17 @@ func (p *Proc) Kill() {
 	}
 }
 
+// block and unblock track parked processes for deadlock reporting. The
+// set lives on the process's lane so membership changes stay lane-local
+// under Parallel; deadlock() unions the lanes.
 func (e *Engine) block(p *Proc) {
+	if p.ln != nil {
+		if p.ln.blocked == nil {
+			p.ln.blocked = make(map[*Proc]struct{})
+		}
+		p.ln.blocked[p] = struct{}{}
+		return
+	}
 	if e.blocked == nil {
 		e.blocked = make(map[*Proc]struct{})
 	}
@@ -165,5 +256,9 @@ func (e *Engine) block(p *Proc) {
 }
 
 func (e *Engine) unblock(p *Proc) {
+	if p.ln != nil {
+		delete(p.ln.blocked, p)
+		return
+	}
 	delete(e.blocked, p)
 }

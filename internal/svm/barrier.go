@@ -172,7 +172,7 @@ func (n *node) masterArrive(a *barArrive) {
 	}
 	rel := &barRelease{Epoch: a.Epoch, VT: vt, Lists: lists}
 	n.masterDone = a.Epoch
-	n.cl.stats.BarrierEpisodes++
+	n.stats.BarrierEpisodes++
 	delete(n.masterArrivals, a.Epoch)
 	// Boundary: the master has merged the episode but broadcast nothing
 	// yet. A master killed here strands every member mid-barrier with the

@@ -88,7 +88,7 @@ func (t *Thread) saveThreadState(s *Thread) {
 	if snap.Blob == nil {
 		return // thread never registered resumable state
 	}
-	t.cl.ckptCount++
+	t.node.ckptCount++
 	t.charge(CompCheckpoint, cfg.CheckpointNs(sz))
 	for {
 		backup := t.cl.backupOf(t.node.id)

@@ -28,7 +28,7 @@ func (t *Thread) readFault(pg *page) {
 	}
 	fut := t.cl.eng.NewFuture()
 	pg.fetching = fut
-	t.cl.stats.ReadFaults++
+	t.node.stats.ReadFaults++
 	needRecovery := false
 	func() {
 		// The dedupe future must resolve before this thread can park in
@@ -94,7 +94,7 @@ func (t *Thread) localFetch(pg *page) (needRecovery bool) {
 	}
 	buf := pg.ensureWorking()
 	copy(buf, pg.committed)
-	t.cl.stats.LocalFetches++
+	t.node.stats.LocalFetches++
 	t.charge(CompDataWait, cfg.CopyNs(cfg.PageSize))
 	t.finishFetch(pg, pg.commitVer.Clone())
 	return false
@@ -123,13 +123,13 @@ func (t *Thread) remoteFetch(pg *page, home int) (needRecovery bool) {
 	if !rep.Ver.Covers(pg.fetchNeed(t.node.id)) {
 		// The page was invalidated again while the fetch was in flight;
 		// retry with the stronger requirement.
-		t.cl.putPageBuf(rep.Data)
+		t.node.putPageBuf(rep.Data)
 		return false
 	}
 	// A stale read-only copy may still be installed; the reply replaces it.
-	t.cl.putPageBuf(pg.working)
+	t.node.putPageBuf(pg.working)
 	pg.working = rep.Data
-	t.cl.stats.RemoteFetches++
+	t.node.stats.RemoteFetches++
 	t.finishFetch(pg, rep.Ver)
 	return false
 }
@@ -151,16 +151,16 @@ func (t *Thread) finishFetch(pg *page, ver proto.VectorTime) {
 		// over from the stash, and only those chunks need pre-merge images.
 		if pg.stashMask != nil {
 			pg.dirtyMask, pg.stashMask = pg.stashMask, nil
-			pg.twin = t.cl.getPageBuf()
-			t.cl.stats.TwinBytesCopied += int64(mem.CopyMasked(pg.twin, pg.working, pg.dirtyMask))
+			pg.twin = t.node.getPageBuf()
+			t.node.stats.TwinBytesCopied += int64(mem.CopyMasked(pg.twin, pg.working, pg.dirtyMask))
 		} else {
-			pg.twin = t.cl.clonePageBuf(pg.working)
-			t.cl.stats.TwinBytesCopied += int64(cfg.PageSize)
+			pg.twin = t.node.clonePageBuf(pg.working)
+			t.node.stats.TwinBytesCopied += int64(cfg.PageSize)
 		}
 		localDiff.Apply(pg.working)
 		dbuf.Release()
-		t.cl.putPageBuf(pg.dirtyWorking)
-		t.cl.putPageBuf(pg.dirtyTwin)
+		t.node.putPageBuf(pg.dirtyWorking)
+		t.node.putPageBuf(pg.dirtyTwin)
 		pg.dirtyWorking, pg.dirtyTwin = nil, nil
 		pg.state = pWritable
 		// Re-list the page: the dirty-list entry that accompanied the
@@ -197,22 +197,22 @@ func (t *Thread) writeFault(pg *page) {
 		// its first write (Thread.track). The buffer holds garbage outside
 		// dirty chunks and is never read there. The modeled cost below is
 		// unchanged: the simulated machine still pays a full-page copy.
-		pg.twin = t.cl.getPageBuf()
-		pg.dirtyMask = t.cl.getMaskBuf()
+		pg.twin = t.node.getPageBuf()
+		pg.dirtyMask = t.node.getMaskBuf()
 		if pg.denseHint {
 			// Dense-writer fast path (see page.denseHint).
 			copy(pg.twin, pg.working)
 			mem.MarkRange(pg.dirtyMask, 0, cfg.PageSize)
 			pg.maskFull = true
-			t.cl.stats.TwinBytesCopied += int64(cfg.PageSize)
+			t.node.stats.TwinBytesCopied += int64(cfg.PageSize)
 		}
 	} else {
-		pg.twin = t.cl.clonePageBuf(pg.working)
-		t.cl.stats.TwinBytesCopied += int64(cfg.PageSize)
+		pg.twin = t.node.clonePageBuf(pg.working)
+		t.node.stats.TwinBytesCopied += int64(cfg.PageSize)
 	}
 	pg.state = pWritable
 	t.node.dirty = append(t.node.dirty, pg.id)
-	t.cl.stats.WriteFaults++
+	t.node.stats.WriteFaults++
 	t.charge(CompDataWait, cfg.PageFaultTrapNs)
 	t.charge(CompDataWait, cfg.CopyNs(cfg.PageSize))
 }
@@ -229,7 +229,7 @@ func (t *Thread) invalidate(pid int, src int, itv int32) {
 	if pg.reqVer[src] < itv {
 		pg.reqVer[src] = itv
 	}
-	t.cl.stats.Invalidations++
+	t.node.stats.Invalidations++
 	t.charge(CompProtocol, t.cl.cfg.ProtoOpNs)
 	if t.cl.opt.Mode == ModeBase && t.cl.pageHomes.Primary(pid) == n.id {
 		// Base protocol: the home's working copy receives remote diffs

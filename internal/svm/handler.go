@@ -92,7 +92,7 @@ func (n *node) applyDiffMsg(m *diffMsg) {
 		pg.serveWaiters(pg.baseVer, buf, cfg.PageSize+64)
 	case 1: // tentative copy at the secondary home
 		if pg.tentative == nil {
-			pg.tentative = n.cl.getPageBufZero()
+			pg.tentative = n.getPageBufZero()
 			pg.tentVer = proto.NewVector(cfg.Nodes)
 		}
 		if m.Undo != nil {
@@ -104,7 +104,7 @@ func (n *node) applyDiffMsg(m *diffMsg) {
 		pg.applyDiff(pg.tentative, pg.tentVer, m.Src, m.Interval, m.Diff)
 	case 2: // committed copy at the primary home
 		if pg.committed == nil {
-			pg.committed = n.cl.getPageBufZero()
+			pg.committed = n.getPageBufZero()
 			pg.commitVer = proto.NewVector(cfg.Nodes)
 		}
 		pg.applyDiff(pg.committed, pg.commitVer, m.Src, m.Interval, m.Diff)
@@ -123,7 +123,7 @@ func (n *node) handleFetch(d *vmmc.Delivery, m *fetchReq) {
 		if pg.committed == nil {
 			// Newly promoted home whose replica has not arrived yet:
 			// defer until recovery installs it.
-			pg.committed = n.cl.getPageBufZero()
+			pg.committed = n.getPageBufZero()
 			pg.commitVer = proto.NewVector(cfg.Nodes)
 		}
 		buf, ver = pg.committed, pg.commitVer
@@ -135,7 +135,7 @@ func (n *node) handleFetch(d *vmmc.Delivery, m *fetchReq) {
 		}
 	}
 	if ver.Covers(m.Need) {
-		rep := &fetchReply{Page: m.Page, Data: n.cl.clonePageBuf(buf), Ver: ver.Clone()}
+		rep := &fetchReply{Page: m.Page, Data: n.clonePageBuf(buf), Ver: ver.Clone()}
 		d.Reply(rep, rep.wireBytes())
 		return
 	}

@@ -24,7 +24,7 @@ func (t *Thread) Acquire(l int) {
 			// inside the critical section.
 			ol.holder = t
 			t.locksHeld++
-			t.cl.stats.IntraNodeHandoffs++
+			t.node.stats.IntraNodeHandoffs++
 			return
 		}
 		if ol.held || ol.busy {
@@ -56,7 +56,7 @@ func (t *Thread) Acquire(l int) {
 	if t.cl.lockHomes.Primary(l) != n.id {
 		// Only acquires that actually went to a remote home count; a
 		// primary-home node acquires through local state, no message.
-		t.cl.stats.RemoteAcquires++
+		t.node.stats.RemoteAcquires++
 	}
 	t.cl.trace(obs.KLockHeld, n.id, t.id, int64(l))
 	// Acquire-side consistency: fetch the missing write notices and
@@ -192,7 +192,7 @@ func (t *Thread) pollingAcquire(l int) proto.VectorTime {
 		}
 		backoff := cfg.LockBackoffMinNs
 		if span := cfg.LockBackoffMaxNs - cfg.LockBackoffMinNs; span > 0 {
-			backoff += t.cl.eng.Rand().Int63n(span)
+			backoff += t.proc.Int63n(span)
 		}
 		t0 := t.beginWait()
 		t.proc.Advance(backoff)
@@ -274,7 +274,7 @@ func (t *Thread) nicAcquire(l int) proto.VectorTime {
 		}
 		backoff := cfg.LockBackoffMinNs / 2
 		if span := cfg.LockBackoffMaxNs/2 - backoff; span > 0 {
-			backoff += t.cl.eng.Rand().Int63n(span)
+			backoff += t.proc.Int63n(span)
 		}
 		t0 := t.beginWait()
 		t.proc.Advance(backoff)

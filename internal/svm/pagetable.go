@@ -153,64 +153,66 @@ func newPageTable(n *node, npages, nnodes int) *pageTable {
 //
 // Twins, working copies, and fetch-reply payloads are all PageSize bytes
 // and churn at every write fault, fetch, and interval commit; recycling
-// them keeps the steady-state fault and commit paths allocation-free. The
-// simulation engine is single-threaded (processes run lock-step), so a
-// plain stack suffices — and each cluster owns its own, so concurrent
-// RunGrid simulations never contend.
+// them keeps the steady-state fault and commit paths allocation-free.
+// Each node owns its own stacks, so every pool access is lane-local under
+// the parallel engine (buffers may migrate between node pools over their
+// lifetime — invisible to the protocol, since contents are always
+// (re)initialized on get), and concurrent RunGrid simulations never
+// contend.
 
 // getPageBuf returns a page-size buffer with arbitrary contents.
-func (cl *Cluster) getPageBuf() []byte {
-	if n := len(cl.pageFree); n > 0 {
-		b := cl.pageFree[n-1]
-		cl.pageFree[n-1] = nil
-		cl.pageFree = cl.pageFree[:n-1]
+func (n *node) getPageBuf() []byte {
+	if k := len(n.pageFree); k > 0 {
+		b := n.pageFree[k-1]
+		n.pageFree[k-1] = nil
+		n.pageFree = n.pageFree[:k-1]
 		return b
 	}
-	return make([]byte, cl.cfg.PageSize)
+	return make([]byte, n.cl.cfg.PageSize)
 }
 
 // getPageBufZero returns a zeroed page buffer: fresh working copies must
 // read as zero-initialized shared memory.
-func (cl *Cluster) getPageBufZero() []byte {
-	b := cl.getPageBuf()
+func (n *node) getPageBufZero() []byte {
+	b := n.getPageBuf()
 	clear(b)
 	return b
 }
 
 // clonePageBuf returns a pooled copy of src (which must be page-size).
-func (cl *Cluster) clonePageBuf(src []byte) []byte {
-	b := cl.getPageBuf()
+func (n *node) clonePageBuf(src []byte) []byte {
+	b := n.getPageBuf()
 	copy(b, src)
 	return b
 }
 
 // putPageBuf recycles a page buffer. The caller must guarantee no other
 // reference survives. nil and wrong-size buffers are dropped.
-func (cl *Cluster) putPageBuf(b []byte) {
-	if len(b) != cl.cfg.PageSize {
+func (n *node) putPageBuf(b []byte) {
+	if len(b) != n.cl.cfg.PageSize {
 		return
 	}
-	cl.pageFree = append(cl.pageFree, b)
+	n.pageFree = append(n.pageFree, b)
 }
 
 // getMaskBuf returns a zeroed dirty-chunk mask sized for one page.
-func (cl *Cluster) getMaskBuf() []uint64 {
-	if n := len(cl.maskFree); n > 0 {
-		m := cl.maskFree[n-1]
-		cl.maskFree[n-1] = nil
-		cl.maskFree = cl.maskFree[:n-1]
+func (n *node) getMaskBuf() []uint64 {
+	if k := len(n.maskFree); k > 0 {
+		m := n.maskFree[k-1]
+		n.maskFree[k-1] = nil
+		n.maskFree = n.maskFree[:k-1]
 		clear(m)
 		return m
 	}
-	return make([]uint64, mem.MaskWords(cl.cfg.PageSize))
+	return make([]uint64, mem.MaskWords(n.cl.cfg.PageSize))
 }
 
 // putMaskBuf recycles a dirty-chunk mask.
-func (cl *Cluster) putMaskBuf(m []uint64) {
+func (n *node) putMaskBuf(m []uint64) {
 	if m == nil {
 		return
 	}
-	cl.maskFree = append(cl.maskFree, m)
+	n.maskFree = append(n.maskFree, m)
 }
 
 // fetchNeed returns the version a fetch by node me must observe: the
@@ -227,7 +229,7 @@ func (pg *page) fetchNeed(me int) proto.VectorTime {
 // ensureWorking lazily allocates the working copy from the cluster pool.
 func (pg *page) ensureWorking() []byte {
 	if pg.working == nil {
-		pg.working = pg.pt.node.cl.getPageBufZero()
+		pg.working = pg.pt.node.getPageBufZero()
 	}
 	return pg.working
 }
@@ -249,12 +251,12 @@ func (pt *pageTable) initHome(pid int, role proto.Role, ft bool, size, nnodes in
 	switch role {
 	case proto.Primary:
 		if pg.committed == nil {
-			pg.committed = pt.node.cl.getPageBufZero()
+			pg.committed = pt.node.getPageBufZero()
 			pg.commitVer = proto.NewVector(nnodes)
 		}
 	case proto.Secondary:
 		if pg.tentative == nil {
-			pg.tentative = pt.node.cl.getPageBufZero()
+			pg.tentative = pt.node.getPageBufZero()
 			pg.tentVer = proto.NewVector(nnodes)
 		}
 	}
@@ -277,7 +279,7 @@ func (pg *page) serveWaiters(ver proto.VectorTime, buf []byte, replySize int) {
 	kept := pg.waiters[:0]
 	for _, w := range pg.waiters {
 		if ver.Covers(w.need) {
-			data := pg.pt.node.cl.clonePageBuf(buf)
+			data := pg.pt.node.clonePageBuf(buf)
 			w.d.Reply(&fetchReply{Page: pg.id, Data: data, Ver: ver.Clone()}, replySize)
 		} else {
 			kept = append(kept, w)

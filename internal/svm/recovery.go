@@ -28,6 +28,15 @@ type recoveryState struct {
 // threads stop at their next scheduling point, exactly like a crashed
 // machine whose packets on the wire still arrive.
 func (cl *Cluster) KillNode(id int) {
+	if cl.eng.IsParallel() {
+		// Failure injection reaches across nodes (kill the victim's
+		// endpoint, its threads, every future reply) at one global
+		// instant — an inherently serial operation. Injection harnesses
+		// must run with Workers <= 1; they all attach a tracer or
+		// recorder anyway, which already forces the serial fallback.
+		panic("svm: KillNode requires the serial engine (Workers <= 1)")
+	}
+	cl.everKilled = true
 	n := cl.nodes[id]
 	if n.dead {
 		return
@@ -163,13 +172,24 @@ func (t *Thread) participateRecovery() {
 }
 
 // noteThreadExit re-evaluates the recovery barrier when a thread finishes
-// its body while a recovery is pending (it will never arrive).
-func (cl *Cluster) noteThreadExit() {
+// its body while a recovery is pending (it will never arrive). In a run
+// that never killed a node the cross-node wakeups are spurious — barrier
+// progress on a foreign node depends only on that node's own arrival
+// counts — so healthy runs broadcast only the exiting thread's own node
+// gate, keeping exits lane-local for the parallel engine. Failure runs
+// (always serial) keep the full broadcast: a migrated thread replaying a
+// shortened barrier sequence exits on its backup node, and the recovery
+// barrier must re-evaluate everywhere.
+func (cl *Cluster) noteThreadExit(n *node) {
 	if cl.rec.pending {
 		cl.rec.gate.Broadcast()
 	}
-	for _, n := range cl.nodes {
+	if !cl.everKilled {
 		n.barGate.Broadcast()
+		return
+	}
+	for _, m := range cl.nodes {
+		m.barGate.Broadcast()
 	}
 }
 
@@ -227,7 +247,7 @@ func (t *Thread) runRecovery() {
 	}
 
 	cl.nodes[dead].excluded = true
-	cl.stats.Recoveries++
+	t.node.stats.Recoveries++
 	t.charge(CompProtocol, int64(len(cl.nodes))*cfg.ProtoOpNs)
 
 	rec.pending = false

@@ -79,14 +79,14 @@ func (t *Thread) reconcilePages(dead int, saved *savedState) {
 func ensureHomeCopies(cl *Cluster, pgP, pgS *page) {
 	ensureCommitted(cl, pgP)
 	if pgS.tentative == nil {
-		pgS.tentative = cl.getPageBufZero()
+		pgS.tentative = pgS.pt.node.getPageBufZero()
 		pgS.tentVer = proto.NewVector(cl.cfg.Nodes)
 	}
 }
 
 func ensureCommitted(cl *Cluster, pg *page) {
 	if pg.committed == nil {
-		pg.committed = cl.getPageBufZero()
+		pg.committed = pg.pt.node.getPageBufZero()
 		pg.commitVer = proto.NewVector(cl.cfg.Nodes)
 	}
 }
@@ -115,7 +115,7 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 			// pre-image (the committed copy that would normally provide
 			// the roll-back data died with the releaser).
 			if sv.tentative == nil {
-				sv.tentative = cl.getPageBufZero()
+				sv.tentative = sv.pt.node.getPageBufZero()
 				sv.tentVer = proto.NewVector(cfg.Nodes)
 			}
 			tsDead := int32(0)
@@ -135,7 +135,7 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 		case proto.Secondary:
 			ensureCommitted(cl, sv)
 			if pg.tentative == nil {
-				pg.tentative = cl.getPageBufZero()
+				pg.tentative = pg.pt.node.getPageBufZero()
 			}
 			copy(pg.tentative, sv.committed)
 			pg.tentVer = sv.commitVer.Clone()
@@ -335,7 +335,7 @@ func (t *Thread) migrateThreads(dead int, saved *savedState) int {
 		cl.threads[old.id] = nt
 		bn.threads = append(bn.threads, nt)
 		cl.spawnThread(nt)
-		cl.stats.MigratedThreads++
+		t.node.stats.MigratedThreads++
 		count++
 	}
 	cl.trace(obs.KRecoveryMigrate, dead, t.id, int64(count))

@@ -104,16 +104,16 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 			if pg.writers != nil {
 				clearWriters(pg.writers, mask, cfg.WordSize, cfg.PageSize)
 			}
-			t.cl.putMaskBuf(mask)
+			t.node.putMaskBuf(mask)
 		}
 		if d.Empty() {
-			t.cl.putPageBuf(freeCur)
-			t.cl.putPageBuf(freeTwin)
+			t.node.putPageBuf(freeCur)
+			t.node.putPageBuf(freeTwin)
 			continue
 		}
-		t.cl.stats.PagesDiffed++
+		t.node.stats.PagesDiffed++
 		if t.cl.pageHomes.Primary(pid) == n.id {
-			t.cl.stats.HomePagesDiffed++
+			t.node.stats.HomePagesDiffed++
 		}
 		pages = append(pages, pid)
 		if t.cl.commitSink != nil {
@@ -143,8 +143,8 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 		if ft {
 			pg.locked = true
 		}
-		t.cl.putPageBuf(freeCur)
-		t.cl.putPageBuf(freeTwin)
+		t.node.putPageBuf(freeCur)
+		t.node.putPageBuf(freeTwin)
 	}
 	n.dirty = append(n.dirty[:0], retained...)
 	if len(pages) == 0 {
@@ -154,7 +154,7 @@ func (t *Thread) commitInterval() (int32, []capturedDiff) {
 	itv := int32(len(n.intervals)) + 1
 	n.intervals = append(n.intervals, proto.UpdateList{Node: n.id, Interval: itv, Pages: pages})
 	n.vt[n.id] = itv
-	t.cl.stats.Intervals++
+	t.node.stats.Intervals++
 	if sink := t.cl.commitSink; sink != nil {
 		sink(n.id, itv, n.vt.Clone(), logged)
 	}
@@ -242,8 +242,8 @@ func (t *Thread) releaseBase(afterVisible func()) {
 		for _, c := range caps {
 			home := t.cl.pageHomes.Primary(c.pid)
 			m := &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: 0, Diff: c.diff}
-			t.cl.stats.DiffMsgs++
-			t.cl.stats.DiffBytes += int64(m.wireBytes())
+			t.node.stats.DiffMsgs++
+			t.node.stats.DiffBytes += int64(m.wireBytes())
 			t.charge(CompDiff, cfg.NICPostOverheadNs)
 			t0 := t.beginWait()
 			n.ep.Post(t.proc, home, m.wireBytes(), m)
@@ -360,8 +360,8 @@ func (t *Thread) postBatches(batches map[int]*diffBatch) {
 		if b == nil {
 			continue
 		}
-		t.cl.stats.DiffMsgs++
-		t.cl.stats.DiffBytes += int64(b.wireBytes())
+		t.node.stats.DiffMsgs++
+		t.node.stats.DiffBytes += int64(b.wireBytes())
 		t.charge(CompDiff, cfg.NICPostOverheadNs)
 		t0 := t.beginWait()
 		n.ep.Post(t.proc, dst, b.wireBytes(), b)
@@ -460,7 +460,7 @@ func (t *Thread) splitDeferred(pg *page, d *mem.Diff) bool {
 				}
 				if i < len(r.Data) {
 					deferred = true
-					t.cl.stats.DeferredWords++
+					t.node.stats.DeferredWords++
 				}
 			}
 		}
@@ -490,8 +490,8 @@ func (t *Thread) propagateSinglePhase(caps []capturedDiff, itv int32) {
 				if phase == 1 {
 					m.Undo = c.undo
 				}
-				t.cl.stats.DiffMsgs++
-				t.cl.stats.DiffBytes += int64(m.wireBytes())
+				t.node.stats.DiffMsgs++
+				t.node.stats.DiffBytes += int64(m.wireBytes())
 				t.charge(CompDiff, cfg.NICPostOverheadNs)
 				t0 := t.beginWait()
 				n.ep.Post(t.proc, dst, m.wireBytes(), m)
@@ -546,8 +546,8 @@ func (t *Thread) propagatePhase(caps []capturedDiff, itv int32, phase int) {
 				b.Items = append(b.Items, m)
 				continue
 			}
-			t.cl.stats.DiffMsgs++
-			t.cl.stats.DiffBytes += int64(m.wireBytes())
+			t.node.stats.DiffMsgs++
+			t.node.stats.DiffBytes += int64(m.wireBytes())
 			t.charge(CompDiff, cfg.NICPostOverheadNs)
 			t0 := t.beginWait()
 			n.ep.Post(t.proc, dst, m.wireBytes(), m)
@@ -579,13 +579,13 @@ func (t *Thread) applyLocalDiff(c capturedDiff, itv int32, phase int) {
 	t.charge(CompDiff, cfg.CopyNs(c.diff.DataBytes()))
 	if phase == 1 {
 		if pg.tentative == nil {
-			pg.tentative = t.cl.getPageBufZero()
+			pg.tentative = t.node.getPageBufZero()
 			pg.tentVer = proto.NewVector(cfg.Nodes)
 		}
 		pg.applyDiff(pg.tentative, pg.tentVer, n.id, itv, c.diff)
 	} else {
 		if pg.committed == nil {
-			pg.committed = t.cl.getPageBufZero()
+			pg.committed = t.node.getPageBufZero()
 			pg.commitVer = proto.NewVector(cfg.Nodes)
 		}
 		pg.applyDiff(pg.committed, pg.commitVer, n.id, itv, c.diff)
@@ -610,7 +610,7 @@ func (t *Thread) saveTimestamp(itv int32, caps []capturedDiff) {
 		}
 	}
 	snap, sz := t.encodeSnapshot()
-	t.cl.ckptCount++
+	t.node.ckptCount++
 	t.charge(CompCheckpoint, t.cl.cfg.CheckpointNs(sz))
 	for {
 		backup := t.cl.backupOf(n.id)

@@ -37,8 +37,38 @@ type ProtoStats struct {
 	MigratedThreads int64
 }
 
-// ProtoStats returns a snapshot of the cluster's protocol counters.
-func (cl *Cluster) ProtoStats() ProtoStats { return cl.stats }
+// add accumulates o into s, field by field.
+func (s *ProtoStats) add(o *ProtoStats) {
+	s.ReadFaults += o.ReadFaults
+	s.RemoteFetches += o.RemoteFetches
+	s.LocalFetches += o.LocalFetches
+	s.WriteFaults += o.WriteFaults
+	s.TwinBytesCopied += o.TwinBytesCopied
+	s.PagesDiffed += o.PagesDiffed
+	s.HomePagesDiffed += o.HomePagesDiffed
+	s.DiffMsgs += o.DiffMsgs
+	s.DiffBytes += o.DiffBytes
+	s.Invalidations += o.Invalidations
+	s.Intervals += o.Intervals
+	s.DeferredWords += o.DeferredWords
+	s.RemoteAcquires += o.RemoteAcquires
+	s.IntraNodeHandoffs += o.IntraNodeHandoffs
+	s.BarrierEpisodes += o.BarrierEpisodes
+	s.Recoveries += o.Recoveries
+	s.MigratedThreads += o.MigratedThreads
+}
+
+// ProtoStats returns a snapshot of the cluster's protocol counters,
+// summed over the per-node shards. Every increment happens on the node
+// where the counted event occurred (lane-local under the parallel
+// engine); sums commute, so the aggregate is exact and deterministic.
+func (cl *Cluster) ProtoStats() ProtoStats {
+	var sum ProtoStats
+	for _, n := range cl.nodes {
+		sum.add(&n.stats)
+	}
+	return sum
+}
 
 // HomeDiffFraction returns the fraction of diffed pages that were the
 // committer's own primary-home pages (the paper reports >99% for

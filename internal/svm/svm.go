@@ -126,6 +126,17 @@ type Options struct {
 	// only changes how the simulator computes them — so this is an
 	// ablation/cross-check knob for host-side performance.
 	FullTwins bool
+	// Workers selects the execution engine: 0 or 1 runs the classic
+	// serial engine; > 1 runs the conservative parallel engine with one
+	// lane per node, Workers host goroutines, and lookahead
+	// Config.LinkLatencyNs. The parallel engine commits effects in the
+	// serial engine's exact event order, so every virtual-time metric,
+	// RNG draw, and memory image is bit-identical to Workers = 1 — only
+	// host wall-clock changes. Features that are inherently serial
+	// (tracers, flight recording, auditing, commit sinks, chaos,
+	// probe-mode detection, deterministic drops, failure injection) fall
+	// back to the serial engine; SerialFallbackReason reports why.
+	Workers int
 }
 
 // Cluster is a running SVM cluster.
@@ -143,13 +154,14 @@ type Cluster struct {
 
 	rec recoveryState
 
-	sliceNs   int64 // debt flush threshold
-	ckptCount int64 // total thread-state checkpoints taken
+	sliceNs int64 // debt flush threshold
 
-	// pageFree recycles page-size buffers (twins, working copies, fetch
-	// payloads); see pagetable.go. maskFree recycles dirty-chunk masks.
-	pageFree [][]byte
-	maskFree [][]uint64
+	// everKilled is set by the first KillNode. While false (every healthy
+	// run), thread exits broadcast only their own node's barrier gate —
+	// the cross-node wakeups exist solely so recovery barriers re-evaluate
+	// when a thread that will never arrive finishes, and keeping them
+	// node-local is what lets the parallel engine run exits lane-locally.
+	everKilled bool
 
 	// tracked enables dirty-chunk write tracking with lazy partial twins
 	// (the default; see Options.FullTwins).
@@ -166,8 +178,6 @@ type Cluster struct {
 	// replayed sibling never double-applies lock-protected writes.
 	trackWriters bool
 
-	stats ProtoStats
-
 	// Observability (internal/obs), all nil/off by default so the
 	// benchmark paths pay nothing: flight is the per-node event
 	// recorder, aud the online invariant auditor, auditErr the first
@@ -179,6 +189,10 @@ type Cluster struct {
 	// commitSink, when set, observes every committed interval (see
 	// SetCommitSink). Nil by default: the commit path pays one branch.
 	commitSink CommitSink
+
+	// parReason, set by Run, is why Workers > 1 fell back to the serial
+	// engine ("" when parallel execution was enabled or never requested).
+	parReason string
 }
 
 // node is one SMP node: a set of threads sharing a page table and the
@@ -207,6 +221,22 @@ type node struct {
 	// reference it. Between dead and excluded, survivors still address the
 	// node and discover the failure through timeouts and send errors.
 	excluded bool
+
+	// stats and ckptCount are this node's shard of the cluster counters.
+	// Per-node shards keep every increment lane-local under the parallel
+	// engine; sums commute, so aggregating at snapshot time (ProtoStats,
+	// Metrics, CheckpointCount) is exact.
+	stats     ProtoStats
+	ckptCount int64
+
+	// pageFree recycles page-size buffers (twins, working copies, fetch
+	// payloads); see pagetable.go. maskFree recycles dirty-chunk masks.
+	// Per-node for the same lane-locality reason: a buffer freed on the
+	// node that last used it may migrate between node pools over its
+	// lifetime, which is invisible to the protocol (contents are always
+	// (re)initialized on get).
+	pageFree [][]byte
+	maskFree [][]uint64
 
 	// Lock state: home-side entries for locks homed here, acquirer-side
 	// node-level ownership.
@@ -374,6 +404,13 @@ func (cl *Cluster) Mode() Mode { return cl.opt.Mode }
 // application to completion, and returns the first simulation error
 // (deadlock, app panic).
 func (cl *Cluster) Run() error {
+	if cl.opt.Workers > 1 {
+		if reason := cl.serialOnly(); reason != "" {
+			cl.parReason = reason
+		} else {
+			cl.eng.Parallel(cl.opt.Workers, cl.cfg.LinkLatencyNs)
+		}
+	}
 	tid := 0
 	for _, n := range cl.nodes {
 		for k := 0; k < cl.cfg.ThreadsPerNode; k++ {
@@ -395,14 +432,53 @@ func (cl *Cluster) Run() error {
 	return err
 }
 
+// serialOnly returns a reason the run must use the serial engine, or ""
+// when parallel execution is legal. Every listed feature either mutates
+// state shared across nodes from arbitrary lanes (chaos RNG, drop
+// counters, probe-mode membership, the flight recorder) or observes the
+// global event order itself (tracer, auditor, commit sink) — both are
+// meaningless or racy when lanes execute concurrently.
+func (cl *Cluster) serialOnly() string {
+	switch {
+	case cl.opt.Tracer != nil:
+		return "tracer attached"
+	case cl.flight != nil:
+		return "flight recorder attached"
+	case cl.aud != nil:
+		return "auditor attached"
+	case cl.commitSink != nil:
+		return "commit sink attached"
+	case cl.cfg.Chaos.Enabled:
+		return "network chaos enabled"
+	case cl.cfg.Detection == model.DetectProbe:
+		return "probe-mode failure detection"
+	case cl.net.DropEveryNth() > 0:
+		return "deterministic packet drops"
+	}
+	return ""
+}
+
+// EngineWorkers returns the number of engine workers the run actually
+// uses: Options.Workers when the parallel engine engaged, 1 otherwise.
+func (cl *Cluster) EngineWorkers() int {
+	if cl.eng.IsParallel() {
+		return cl.opt.Workers
+	}
+	return 1
+}
+
+// SerialFallbackReason reports why a Workers > 1 run fell back to the
+// serial engine, or "" if it did not.
+func (cl *Cluster) SerialFallbackReason() string { return cl.parReason }
+
 // spawnThread starts (or restarts, after migration) a thread's body.
 func (cl *Cluster) spawnThread(t *Thread) {
 	name := fmt.Sprintf("t%d@n%d", t.id, t.node.id)
-	t.proc = cl.eng.Spawn(name, func(p *sim.Proc) {
+	t.proc = cl.eng.SpawnOn(cl.eng.Lane(t.node.id), name, func(p *sim.Proc) {
 		t.node.busy++
 		defer func() {
 			t.node.busy--
-			cl.noteThreadExit()
+			cl.noteThreadExit(t.node)
 		}()
 		cl.opt.Body(t)
 		t.finished = true
@@ -496,7 +572,7 @@ func (cl *Cluster) LiveVT() proto.VectorTime {
 func (cl *Cluster) Metrics() obs.Snapshot {
 	reg := obs.NewRegistry()
 	reg.Add("svm", func() []obs.Counter {
-		s := cl.stats
+		s := cl.ProtoStats()
 		return []obs.Counter{
 			{Name: "read_faults", Value: s.ReadFaults},
 			{Name: "remote_fetches", Value: s.RemoteFetches},
@@ -518,7 +594,7 @@ func (cl *Cluster) Metrics() obs.Snapshot {
 		}
 	})
 	reg.Add("ckpt", func() []obs.Counter {
-		return []obs.Counter{{Name: "checkpoints", Value: cl.ckptCount}}
+		return []obs.Counter{{Name: "checkpoints", Value: cl.CheckpointCount()}}
 	})
 	reg.Add("vmmc", func() []obs.Counter {
 		var sum vmmc.Stats
@@ -587,8 +663,15 @@ func (cl *Cluster) AvgBreakdown() Breakdown {
 }
 
 // CheckpointCount returns the total number of thread-state checkpoints
-// taken (points A and B across all releases).
-func (cl *Cluster) CheckpointCount() int64 { return cl.ckptCount }
+// taken (points A and B across all releases), summed over the per-node
+// shards.
+func (cl *Cluster) CheckpointCount() int64 {
+	var sum int64
+	for _, n := range cl.nodes {
+		sum += n.ckptCount
+	}
+	return sum
+}
 
 // Finished reports whether every live thread ran to completion.
 func (cl *Cluster) Finished() bool {

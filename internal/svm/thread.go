@@ -194,7 +194,7 @@ func (t *Thread) track(pg *page, off, n int) {
 		return
 	}
 	if c := mem.MarkAndSnapshot(mask, pg.twin, pg.working, off, n); c != 0 {
-		t.cl.stats.TwinBytesCopied += int64(c)
+		t.node.stats.TwinBytesCopied += int64(c)
 	}
 }
 
