@@ -13,6 +13,7 @@
 //	svmbench -ablation recovery   # failure injection per app
 //	svmbench -ablation pagesize   # coherence-granularity sweep
 //	svmbench -ablation detection  # failure-detection timeout sweep
+//	svmbench -ablation slo        # serving tail latency vs offered load
 //	svmbench -size small|medium|paper
 //	svmbench -json out.json       # machine-readable figure-grid report
 //	svmbench -compare old.json    # re-run a report's grid, print deltas
@@ -30,12 +31,13 @@ import (
 	"ftsvm/internal/apps"
 	"ftsvm/internal/harness"
 	"ftsvm/internal/model"
+	"ftsvm/internal/serve"
 	"ftsvm/internal/svm"
 )
 
 func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 7, 8, 9, 10, overhead, diffs, scaling, all")
-	ablation := flag.String("ablation", "", "ablation to run: locks, postqueue, checkpoint, serial, recovery, aggregate, twophase, pagesize, detection")
+	ablation := flag.String("ablation", "", "ablation to run: locks, postqueue, checkpoint, serial, recovery, aggregate, twophase, pagesize, detection, slo")
 	size := flag.String("size", "medium", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 8, "cluster nodes")
 	jsonOut := flag.String("json", "", "run the figure grid and write a machine-readable report to this file")
@@ -169,6 +171,8 @@ func main() {
 		ablationPageSize(sz, *nodes)
 	case "detection":
 		ablationDetection(sz, *nodes)
+	case "slo":
+		ablationSLO(sz, *nodes)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown ablation %q\n", *ablation)
 		os.Exit(2)
@@ -495,4 +499,45 @@ func runWithKill(app string, sz harness.Size, nodes int, killAt int64, det model
 		return harness.Result{Err: fmt.Errorf("verification failed: %w", err)}, ks()
 	}
 	return harness.Result{ExecNs: cl.ExecTime()}, ks()
+}
+
+// ablationSLO sweeps the open-loop serving workload's offered load under
+// the combined storm chaos scenario with a mid-run node kill, for both
+// failure detectors: where does each detector keep the tail inside a
+// latency SLO, and how long does the store take to re-warm after
+// recovery? Rates above the knee saturate the store — open-loop arrivals
+// keep coming during the outage, so the backlog (and the tail) grows
+// with the offered rate, which is exactly what this sweep exposes.
+func ablationSLO(sz harness.Size, nodes int) {
+	reqs := map[harness.Size]int{harness.SizeSmall: 200, harness.SizeMedium: 400, harness.SizePaper: 1000}[sz]
+	storm, err := harness.ChaosByName("storm")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Ablation: serving tail latency vs offered load (kvserve, storm chaos + mid-run kill, %d nodes x 1, size=%s)\n", nodes, sz)
+	fmt.Printf("%-8s %10s %9s %10s %10s %10s %10s %10s\n",
+		"detect", "gap us", "kreq/s", "p50 ms", "p99 ms", "p999 ms", "recov ms", "rewarm ms")
+	for _, det := range []model.DetectionMode{model.DetectOracle, model.DetectProbe} {
+		for _, gap := range []int64{200_000, 400_000, 800_000, 1_600_000} {
+			sp := serve.DefaultSpec()
+			sp.Scenario = "storm"
+			sp.Chaos = storm.Chaos
+			sp.Detect = det
+			sp.Nodes = nodes
+			sp.Requests = reqs
+			sp.MeanGapNs = gap
+			sp.KillAtNs = int64(reqs) * gap * 2 / 5
+			r := serve.RunCell(sp)
+			if r.Err != nil {
+				fmt.Printf("%-8s %10.0f ERROR: %v\n", det, float64(gap)/1e3, r.Err)
+				continue
+			}
+			tput := float64(r.Completed) / (float64(r.ExecNs) / 1e9) / 1000
+			fmt.Printf("%-8s %10.0f %9.1f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+				det, float64(gap)/1e3, tput,
+				float64(r.Hist.Percentile(0.5))/1e6, float64(r.Hist.Percentile(0.99))/1e6,
+				float64(r.Hist.Percentile(0.999))/1e6,
+				float64(r.Phases.RecoveryNs)/1e6, float64(r.Phases.RewarmNs)/1e6)
+		}
+	}
 }

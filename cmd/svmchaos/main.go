@@ -29,7 +29,7 @@ import (
 
 // chaosApps is the full suite: the paper's six SPLASH-2 workloads plus the
 // two extension applications.
-var chaosApps = append(append([]string{}, harness.AppNames...), "ocean", "kvstore")
+var chaosApps = append(append([]string{}, harness.AppNames...), "ocean", "kvstore", "kvserve")
 
 func main() {
 	appsFlag := flag.String("apps", strings.Join(chaosApps, ","), "comma-separated applications")

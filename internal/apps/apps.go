@@ -192,3 +192,29 @@ func (p *prng) next() uint64 {
 func (p *prng) float() float64 {
 	return float64(p.next()>>11) / float64(1<<53)
 }
+
+// Rand is the exported face of the workloads' xorshift64* generator for
+// sibling packages that build reproducible input streams the same way
+// (internal/serve's arrival process and request mix).
+type Rand struct{ p prng }
+
+// NewRand seeds a deterministic generator (seed 0 is remapped like
+// newPrng).
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.p = *newPrng(seed)
+	return r
+}
+
+// Next returns the next 64-bit draw.
+func (r *Rand) Next() uint64 { return r.p.next() }
+
+// Float returns a deterministic value in [0, 1).
+func (r *Rand) Float() float64 { return r.p.float() }
+
+// RunStages exposes the barrier-phased exactly-once stage driver to
+// sibling packages whose workloads follow the same checkpoint-resume
+// discipline (internal/serve); see runStages for the replay contract.
+func RunStages(t *svm.Thread, cur *int, arrived *bool, total int, body func(stage int)) {
+	runStages(t, cur, arrived, total, body)
+}

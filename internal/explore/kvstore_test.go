@@ -1,0 +1,49 @@
+package explore_test
+
+import (
+	"testing"
+
+	"ftsvm/internal/explore"
+	"ftsvm/internal/harness"
+)
+
+func kvmicroSpec() explore.Spec {
+	return harness.ExploreSpec(harness.Config{
+		App: "kvmicro", Size: harness.SizeSmall, Nodes: 4, ThreadsPerNode: 1,
+	})
+}
+
+// TestKVMicroSweep runs the micro key-value store through the
+// failure-point explorer: a failure injected at any sampled protocol
+// boundary must leave the store recoverable, the replica invariants
+// intact, and the KVStore verification stage (per-key sums, exactly-once
+// PUT application, keys homed in the right buckets) clean. This is the
+// lock-protected multi-writer bucket pattern — the serving layer's
+// substrate — under exhaustive-style failure injection.
+func TestKVMicroSweep(t *testing.T) {
+	tr, err := explore.Record(kvmicroSpec())
+	if err != nil {
+		t.Fatalf("recording: %v", err)
+	}
+	if len(tr.Boundaries) < 100 {
+		t.Fatalf("recorded %d boundaries, want a rich set (>= 100)", len(tr.Boundaries))
+	}
+	tr2, err := explore.Record(kvmicroSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Fingerprint != tr.Fingerprint {
+		t.Fatalf("kvmicro recording not deterministic: %s vs %s", tr.Fingerprint, tr2.Fingerprint)
+	}
+
+	bs := explore.Sample(tr.Boundaries, 12)
+	vs := explore.Sweep(kvmicroSpec(), bs, tr.Budget(), 4, nil)
+	for i, v := range vs {
+		if !v.Pass {
+			t.Errorf("boundary %s failed: %s", bs[i].ID(), v.Err)
+		}
+		if got := len(v.Injected) + len(v.Refused); got != 1 {
+			t.Errorf("boundary %s: injected+refused = %d, want 1", bs[i].ID(), got)
+		}
+	}
+}

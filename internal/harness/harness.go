@@ -16,6 +16,7 @@ import (
 	"ftsvm/internal/apps"
 	"ftsvm/internal/model"
 	"ftsvm/internal/obs"
+	"ftsvm/internal/serve"
 	"ftsvm/internal/svm"
 )
 
@@ -80,6 +81,25 @@ func Build(app string, size Size, s apps.Shape) (*apps.Workload, error) {
 		b := map[Size]int{SizeSmall: 32, SizeMedium: 128, SizePaper: 512}[size]
 		ops := map[Size]int{SizeSmall: 100, SizeMedium: 1000, SizePaper: 5000}[size]
 		return apps.KVStore(s, b, 32, ops), nil
+	case "kvmicro":
+		// Micro-scale KV store for exhaustive failure-point sweeps
+		// (svmfi/explore): few buckets, few ops, every interleaving cheap.
+		ops := map[Size]int{SizeSmall: 4, SizeMedium: 8, SizePaper: 16}[size]
+		return apps.KVStore(s, 4, 8, ops), nil
+	case "kvserve":
+		// Open-loop serving workload (internal/serve): Zipfian GET/PUT
+		// requests on a fixed arrival schedule, latency recorded per
+		// request. Here it rides the generic harness for chaos/ablation
+		// sweeps; cmd/svmserve owns the latency/timeline reporting.
+		sp := serve.DefaultSpec()
+		sp.Nodes = s.Nodes
+		sp.ThreadsPerNode = s.ThreadsPerNode
+		sp.Requests = map[Size]int{SizeSmall: 100, SizeMedium: 400, SizePaper: 2000}[size]
+		d, err := serve.NewDriver(sp, s.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		return d.Workload(), nil
 	}
 	return nil, fmt.Errorf("harness: unknown app %q", app)
 }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistBucketEdges verifies the index mapping and its inverse agree:
+// every bucket's bounds round-trip through histIndex, and adjacent
+// buckets tile the value range with no gaps or overlaps.
+func TestHistBucketEdges(t *testing.T) {
+	prevHi := int64(-1)
+	for idx := 0; idx < histBuckets; idx++ {
+		lo, hi := HistBucketBounds(idx)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", idx, lo, hi)
+		}
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo %d, want %d (gap/overlap after previous hi)", idx, lo, prevHi+1)
+		}
+		prevHi = hi
+		if hi < 0 {
+			// Top octave bounds overflow int64; indexable values stop at
+			// MaxInt64, which is fine for virtual-time latencies.
+			break
+		}
+		if got := histIndex(lo); got != idx {
+			t.Fatalf("histIndex(lo=%d) = %d, want %d", lo, got, idx)
+		}
+		if got := histIndex(hi); got != idx {
+			t.Fatalf("histIndex(hi=%d) = %d, want %d", hi, got, idx)
+		}
+	}
+}
+
+// TestHistExactRegion: small values are recorded exactly — one value
+// per bucket — so percentiles in that range are exact, not rounded.
+func TestHistExactRegion(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 2*histSubCount; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 2*histSubCount {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Percentile(0.5); got != histSubCount-1 {
+		t.Fatalf("p50 = %d, want %d", got, histSubCount-1)
+	}
+	if got := h.Percentile(1); got != 2*histSubCount-1 {
+		t.Fatalf("p100 = %d, want %d", got, 2*histSubCount-1)
+	}
+	if got := h.Percentile(0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+}
+
+// TestHistQuantizationBound: the reported percentile is never below the
+// true value and overshoots by at most a sub-bucket width (bounded
+// relative error).
+func TestHistQuantizationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 40)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	for _, v := range vals {
+		idx := histIndex(v)
+		lo, hi := HistBucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket [%d, %d]", v, lo, hi)
+		}
+		if width := hi - lo; width > 0 && float64(width) > float64(v)/float64(histSubCount)+1 {
+			t.Fatalf("value %d: bucket width %d exceeds error bound", v, width)
+		}
+	}
+}
+
+// TestHistPercentileMonotone: percentiles are monotone in q and bounded
+// by [Min, Max].
+func TestHistPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 2000; i++ {
+		h.Record(rng.Int63n(1_000_000_000))
+	}
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		p := h.Percentile(q)
+		if p < prev {
+			t.Fatalf("percentile not monotone: q=%g gives %d after %d", q, p, prev)
+		}
+		if p < h.Min() || p > h.Max() {
+			t.Fatalf("percentile %d outside [min=%d, max=%d]", p, h.Min(), h.Max())
+		}
+		prev = p
+	}
+}
+
+// TestHistMerge: merging two histograms is equivalent to recording both
+// value streams into one.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 1000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge summary mismatch: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Count(), a.Sum(), a.Min(), a.Max(), all.Count(), all.Sum(), all.Min(), all.Max())
+	}
+	ab, allb := a.Buckets(), all.Buckets()
+	if len(ab) != len(allb) {
+		t.Fatalf("merge bucket count %d, want %d", len(ab), len(allb))
+	}
+	for i := range ab {
+		if ab[i] != allb[i] {
+			t.Fatalf("bucket %d: %+v vs %+v", i, ab[i], allb[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Percentile(q) != all.Percentile(q) {
+			t.Fatalf("q=%g: merged %d, want %d", q, a.Percentile(q), all.Percentile(q))
+		}
+	}
+}
+
+// TestHistEmptyAndNegative: edge behaviors are defined, not panics.
+func TestHistEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(0.99) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	h.Merge(nil) // no-op
+	if h.Count() != 1 {
+		t.Fatal("merge(nil) changed the histogram")
+	}
+}
+
+// TestHistRecordZeroAlloc gates the zero-allocation record path.
+func TestHistRecordZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	v := int64(123456)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 997
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %g per call, want 0", allocs)
+	}
+}

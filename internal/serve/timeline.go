@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sort"
+
+	"ftsvm/internal/svm"
+)
+
+// Phases is the per-phase availability timeline of one serving run: how
+// the run's virtual time divides across the failure lifecycle. The six
+// durations sum to the run's ExecNs.
+//
+//	healthy     — from start until the victim fail-stops.
+//	undetected  — failure present, no evidence yet: until the probe
+//	              detector's confirming miss streak begins (suspect). In
+//	              oracle mode (no suspicion window) this extends to
+//	              detection.
+//	detecting   — from first suspicion to the cluster-wide failure
+//	              report that opens the recovery barrier.
+//	recovery    — the recovery episode itself (reconcile, re-home,
+//	              re-replicate, migrate).
+//	rewarm      — post-recovery until every serving thread has drained
+//	              its backlog and seen a completion back under
+//	              RewarmFactor x the pre-failure p99.
+//	restored    — steady state after re-warm, until the run ends.
+//
+// In an undisturbed run everything is healthy. If a failure is injected
+// but never detected before the run ends, the remainder is undetected.
+type Phases struct {
+	HealthyNs    int64 `json:"healthy_ns"`
+	UndetectedNs int64 `json:"undetected_ns"`
+	DetectingNs  int64 `json:"detecting_ns"`
+	RecoveryNs   int64 `json:"recovery_ns"`
+	RewarmNs     int64 `json:"rewarm_ns"`
+	RestoredNs   int64 `json:"restored_ns"`
+}
+
+// healthyP99 returns the exact p99 of the latencies of requests that
+// completed strictly before cutNs (0 if none) — the re-warm baseline.
+func healthyP99(arrive, done [][]int64, cutNs int64) int64 {
+	var lats []int64
+	for tid := range done {
+		for i, dn := range done[tid] {
+			if dn > 0 && dn < cutNs {
+				lats = append(lats, dn-arrive[tid][i])
+			}
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (len(lats)*99 + 99) / 100 // ceil(0.99*n), 1-based rank
+	if idx > len(lats) {
+		idx = len(lats)
+	}
+	return lats[idx-1]
+}
+
+// rewarmEnd returns the virtual time at which the last serving thread
+// finished re-warming: per thread, the first completion after recoverNs
+// whose latency is at or under threshNs. A thread with post-recovery
+// completions but none under the threshold re-warms at its last
+// completion (it never got back to baseline); a thread with no
+// post-recovery completions was already drained at recoverNs. With no
+// usable threshold (threshNs <= 0: no pre-failure completions to
+// baseline against) re-warm is unmeasurable and ends at recoverNs.
+func rewarmEnd(done [][]int64, arrive [][]int64, recoverNs, threshNs int64) int64 {
+	if threshNs <= 0 {
+		return recoverNs
+	}
+	end := recoverNs
+	for tid := range done {
+		cand := recoverNs
+		last := int64(0)
+		found := false
+		for i, dn := range done[tid] {
+			if dn <= recoverNs {
+				continue
+			}
+			last = dn
+			if dn-arrive[tid][i] <= threshNs {
+				cand = dn
+				found = true
+				break
+			}
+		}
+		if !found && last > 0 {
+			cand = last
+		}
+		if cand > end {
+			end = cand
+		}
+	}
+	return end
+}
+
+// computeTimeline folds the milestone times and per-request completions
+// into the phase durations. Milestones are clamped into causal order
+// (kill <= suspect <= detect <= recover <= exec); a missing milestone
+// extends the preceding phase to the end of the run. Returns the phases
+// and the re-warm end time (0 when no re-warm phase exists).
+func computeTimeline(execNs int64, m svm.PhaseTimes, arrive, done [][]int64, rewarmFactor float64) (Phases, int64) {
+	var ph Phases
+	if m.KillNs <= 0 || m.KillNs >= execNs {
+		ph.HealthyNs = execNs
+		return ph, 0
+	}
+	ph.HealthyNs = m.KillNs
+
+	if m.DetectNs <= 0 {
+		// The failure outlived the run undetected.
+		ph.UndetectedNs = execNs - m.KillNs
+		return ph, 0
+	}
+	suspect := m.SuspectNs
+	if suspect <= m.KillNs || suspect > m.DetectNs {
+		suspect = m.DetectNs // oracle mode, or no observable suspicion window
+	}
+	ph.UndetectedNs = suspect - m.KillNs
+	ph.DetectingNs = m.DetectNs - suspect
+
+	if m.RecoverNs <= 0 {
+		ph.RecoveryNs = execNs - m.DetectNs
+		return ph, 0
+	}
+	ph.RecoveryNs = m.RecoverNs - m.DetectNs
+
+	thresh := int64(rewarmFactor * float64(healthyP99(arrive, done, m.KillNs)))
+	end := rewarmEnd(done, arrive, m.RecoverNs, thresh)
+	if end > execNs {
+		end = execNs
+	}
+	ph.RewarmNs = end - m.RecoverNs
+	ph.RestoredNs = execNs - end
+	return ph, end
+}

@@ -30,12 +30,19 @@ const (
 	// CompProtocol is the remaining protocol processing: interval commits,
 	// write-notice exchange, invalidations, timestamp saves, recovery.
 	CompProtocol
+	// CompIdle is open-loop idle time: a serving thread parked between a
+	// request's completion and the next request's arrival
+	// (Thread.IdleUntil). It is intentionally excluded from the FourWay
+	// and SixWay folds — the paper's batch kernels never idle, and for a
+	// serving workload idle time is offered-load slack, not protocol
+	// cost.
+	CompIdle
 
 	numComponents
 )
 
 var componentNames = [numComponents]string{
-	"compute", "data", "lock", "barrier", "diff", "checkpoint", "protocol",
+	"compute", "data", "lock", "barrier", "diff", "checkpoint", "protocol", "idle",
 }
 
 func (c Component) String() string {

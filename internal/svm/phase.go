@@ -1,0 +1,77 @@
+package svm
+
+import (
+	"ftsvm/internal/model"
+	"ftsvm/internal/obs"
+)
+
+// Availability-phase hooks: the cluster stamps the virtual times of its
+// failure-lifecycle milestones at the same trace points the flight
+// recorder observes (kill, recovery.start, recovery.done), plus the
+// probe detector's suspicion-streak start from vmmc. The open-loop
+// serving layer (internal/serve) turns these into the per-phase
+// availability timeline: healthy → undetected failure → probe
+// detection → recovery → re-warm.
+
+// phaseTrace is the raw milestone record, written by Cluster.trace.
+type phaseTrace struct {
+	killNs    int64
+	victim    int
+	detectNs  int64 // recovery.start: the failure was reported cluster-wide
+	recoverNs int64 // recovery.done: the recovery actions completed
+}
+
+// note records the first occurrence of each milestone. It runs on the
+// trace hot path: three equality tests for every non-milestone event.
+func (pc *phaseTrace) note(kind obs.Kind, nodeID int, now int64) {
+	switch kind {
+	case obs.KKill:
+		if pc.killNs == 0 {
+			pc.killNs = now
+			pc.victim = nodeID
+		}
+	case obs.KRecoveryStart:
+		if pc.detectNs == 0 {
+			pc.detectNs = now
+		}
+	case obs.KRecoveryDone:
+		if pc.recoverNs == 0 {
+			pc.recoverNs = now
+		}
+	}
+}
+
+// PhaseTimes are the virtual times of the failure-lifecycle milestones
+// of a run's first (and under the single-failure model, only) failure.
+// A zero field means the milestone never happened.
+type PhaseTimes struct {
+	// KillNs is when the node fail-stopped (KillNode).
+	KillNs int64
+	// Victim is the failed node id (meaningful when KillNs > 0).
+	Victim int
+	// SuspectNs is when the probe detector's confirming miss streak
+	// against the victim began — the earliest evidence of the failure.
+	// Zero in oracle mode (the oracle has no suspicion window) and when
+	// the failure was confirmed through a send error instead of probes.
+	SuspectNs int64
+	// DetectNs is when the failure was reported and the recovery barrier
+	// opened (recovery.start).
+	DetectNs int64
+	// RecoverNs is when the recovery actions completed (recovery.done).
+	RecoverNs int64
+}
+
+// PhaseTimes returns the recorded failure-lifecycle milestones. Call
+// after Run; all times are virtual.
+func (cl *Cluster) PhaseTimes() PhaseTimes {
+	pt := PhaseTimes{
+		KillNs:    cl.phase.killNs,
+		Victim:    cl.phase.victim,
+		DetectNs:  cl.phase.detectNs,
+		RecoverNs: cl.phase.recoverNs,
+	}
+	if pt.KillNs > 0 && cl.cfg.Detection == model.DetectProbe {
+		pt.SuspectNs = cl.net.SuspicionNs(pt.Victim)
+	}
+	return pt
+}

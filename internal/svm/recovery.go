@@ -90,6 +90,7 @@ func (cl *Cluster) wakeForRecovery() {
 		}
 		n.barGate.Broadcast()
 		n.releaseGate.Broadcast()
+		n.idleGate.Broadcast()
 		for _, ol := range n.owned {
 			ol.gate.Broadcast()
 		}

@@ -193,6 +193,12 @@ type Cluster struct {
 	// parReason, set by Run, is why Workers > 1 fell back to the serial
 	// engine ("" when parallel execution was enabled or never requested).
 	parReason string
+
+	// phase records the virtual times of the failure-lifecycle milestones
+	// (kill, recovery start, recovery done) as trace() passes them — the
+	// phase-transition hook behind PhaseTimes. Always recorded, whether
+	// or not a tracer or recorder is attached.
+	phase phaseTrace
 }
 
 // node is one SMP node: a set of threads sharing a page table and the
@@ -215,7 +221,11 @@ type node struct {
 
 	threads []*Thread
 	busy    int
-	dead    bool // fail-stopped (ground truth, set at kill time)
+	// idleGate parks open-loop serving threads between requests
+	// (Thread.IdleUntil); recovery broadcasts it so idle threads join the
+	// recovery barrier promptly instead of sleeping through it.
+	idleGate sim.Gate
+	dead     bool // fail-stopped (ground truth, set at kill time)
 	// excluded means a completed recovery removed this node from the
 	// cluster: home maps, barrier membership, and backup rings no longer
 	// reference it. Between dead and excluded, survivors still address the
@@ -491,6 +501,7 @@ func (cl *Cluster) spawnThread(t *Thread) {
 // the default (neither enabled) costs two branches and the simulated
 // event stream is identical with or without them.
 func (cl *Cluster) trace(kind obs.Kind, nodeID, threadID int, seq int64) {
+	cl.phase.note(kind, nodeID, cl.eng.Now())
 	if cl.opt.Tracer != nil {
 		cl.opt.Tracer.Event(TraceEvent{Kind: kind.String(), Node: nodeID, Thread: threadID, Seq: seq})
 	}

@@ -85,6 +85,27 @@ func (t *Thread) Compute(ns int64) {
 	t.charge(CompCompute, ns)
 }
 
+// IdleUntil parks the thread until virtual time ns without charging
+// processor cost — the open-loop serving driver's inter-arrival wait,
+// where a thread sits idle until its next request's arrival time. The
+// wait counts as CompIdle and frees the node's SMP contention slot
+// (an idle server core does not contend for the memory bus). It is
+// recovery-interruptible: the failure-notification broadcast wakes the
+// thread so it joins the recovery barrier promptly, then the wait
+// resumes until the target time. A target in the past returns
+// immediately, so replayed (post-migration) requests drain back-to-back.
+func (t *Thread) IdleUntil(ns int64) {
+	t.safePoint()
+	t.flush()
+	for t.proc.Now() < ns {
+		d := ns - t.proc.Now()
+		t0 := t.beginWait()
+		t.node.idleGate.WaitTimeout(t.proc, d)
+		t.endWait(CompIdle, t0)
+		t.safePoint()
+	}
+}
+
 // charge accrues CPU cost into component c and the thread's time debt,
 // flushing the debt into virtual time when it exceeds the slice.
 func (t *Thread) charge(c Component, ns int64) {

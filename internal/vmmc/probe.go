@@ -74,9 +74,17 @@ func (ep *Endpoint) DetectRound(p *sim.Proc, dst int) bool {
 	}
 	if ep.probeRound(p, dst) {
 		n.missCount[dst] = 0
+		n.suspectNs[dst] = 0
 		return true
 	}
 	n.missCount[dst]++
+	if n.missCount[dst] == 1 {
+		// First miss of a fresh streak: the suspicion window opens here.
+		// The timestamp feeds the availability timeline (svm.PhaseTimes):
+		// kill→suspect is the undetected window, suspect→report is what
+		// probe confirmation costs on top.
+		n.suspectNs[dst] = n.eng.Now()
+	}
 	if n.missCount[dst] < n.cfg.ProbeMissLimit {
 		return true // suspected, not yet confirmed
 	}
@@ -88,11 +96,19 @@ func (ep *Endpoint) DetectRound(p *sim.Proc, dst int) bool {
 		// the detector's false-suspicion margin under chaos.
 		n.FalseSuspicions++
 		n.missCount[dst] = 0
+		n.suspectNs[dst] = 0
 		return true
 	}
 	n.confirmedDead[dst] = true
 	return false
 }
+
+// SuspicionNs returns the virtual time at which the probe detector's
+// current (or confirming) miss streak against dst began, or 0 if dst is
+// not under suspicion. For a confirmed-dead node this is the start of
+// the streak that confirmed it — the earliest moment the membership
+// service had evidence of the failure. Always 0 in oracle mode.
+func (n *Network) SuspicionNs(dst int) int64 { return n.suspectNs[dst] }
 
 // ConfirmedDead reports whether probe-mode detection has confirmed node
 // i's failure. Always false in oracle mode.
