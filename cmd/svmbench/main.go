@@ -49,6 +49,8 @@ func main() {
 	fulltwins := flag.Bool("fulltwins", false, "disable write-set tracked diffing (full-page twins and scans)")
 	workers := flag.String("workers", "1", "engine workers per simulation: 1 serial, >1 conservative parallel lanes; -json accepts a comma list (e.g. 1,4) covering each engine in one report")
 	sweep := flag.String("sweep", "", "with -json: also time a full failure-point sweep of these apps (comma-separated) at each -workers count")
+	scaleOut := flag.String("scale", "", "run the 8/64/256-node scaling grid (flat vs tree+delta tiers) and write a report to this file")
+	scaleCompare := flag.String("scalecompare", "", "re-run the scaling grid recorded in this report and fail on any virtual-metric drift")
 	flag.Parse()
 
 	sz := harness.Size(*size)
@@ -95,6 +97,20 @@ func main() {
 		}()
 	}
 
+	if *scaleOut != "" {
+		if err := runScaleJSON(*scaleOut, sz); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleCompare != "" {
+		if err := runScaleCompare(*scaleCompare); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		if err := runBenchJSON(*jsonOut, sz, *nodes, det, *benchwall, *fulltwins, workersList, *sweep); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)

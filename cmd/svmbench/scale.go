@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+// The scaling benchmark: the paper's grid stops at 8 nodes, where a flat
+// release broadcast and full vector times are cheap. These cells sweep the
+// micro workloads across 8/64/256 nodes with the scale-out machinery off
+// ("flat") and on ("tree", the large/huge tier presets: spanning-tree
+// broadcast + delta vector times), recording the msgs/bytes/wall scaling
+// curves. The headline acceptance metric is bytes-per-node: flat broadcast
+// and full vectors make it grow linearly with N, the tree+delta tier keeps
+// it sub-linear.
+
+// scaleCell is one scaling measurement.
+type scaleCell struct {
+	App   string `json:"app"`
+	Mode  string `json:"mode"`
+	Nodes int    `json:"nodes"`
+	// Topo is "flat" (legacy broadcast, full vectors) or "tree" (the
+	// tier preset for this node count).
+	Topo         string  `json:"topo"`
+	VirtualMs    float64 `json:"vms"`
+	Msgs         int64   `json:"msgs"`
+	Bytes        int64   `json:"bytes"`
+	BytesPerNode int64   `json:"bytes_per_node"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+// scaleReport is the artifact written by -scale and replayed by
+// -scalecompare.
+type scaleReport struct {
+	Size        string      `json:"size"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	TotalWallMs float64     `json:"total_wall_ms"`
+	Cells       []scaleCell `json:"cells"`
+}
+
+// scaleTierFor maps a node count to its scale-out preset.
+func scaleTierFor(nodes int) harness.Tier {
+	switch nodes {
+	case 64:
+		return harness.TierLarge
+	case 256:
+		return harness.TierHuge
+	}
+	return harness.TierPaper
+}
+
+// scaleCellConfig builds the harness cell for one scaling measurement.
+// Flat cells past 8 nodes still get the tier's contention-scaled lock
+// backoff (harness.ScaledLockBackoffMaxNs): with the paper's 40 µs
+// window a 64-way contended polling lock live-locks regardless of
+// topology, and giving both topologies the same window makes the
+// flat-vs-tree columns isolate exactly the broadcast + vector-time
+// encoding, which is what this grid measures.
+func scaleCellConfig(app string, sz harness.Size, mode svm.Mode, nodes int, topo string) harness.Config {
+	c := harness.Config{
+		App: app, Size: sz, Mode: mode, Nodes: nodes, ThreadsPerNode: 1,
+	}
+	if topo == "tree" {
+		c.Tier = scaleTierFor(nodes)
+	} else if nodes > 8 {
+		backoff := harness.ScaledLockBackoffMaxNs(nodes)
+		c.Overrides = func(cfg *model.Config) { cfg.LockBackoffMaxNs = backoff }
+	}
+	return c
+}
+
+// scaleGrid is the scaling sweep: micro workloads, both protocols, three
+// cluster sizes, flat vs tree. 8 nodes has no tree cell — the tiers start
+// where the paper grid ends, and the flat 8-node row doubles as the
+// bit-identity anchor to the legacy benchmarks.
+func scaleGrid(sz harness.Size) []harness.Config {
+	var cells []harness.Config
+	for _, app := range []string{"counter", "falseshare"} {
+		for _, mode := range []svm.Mode{svm.ModeBase, svm.ModeFT} {
+			for _, nodes := range []int{8, 64, 256} {
+				cells = append(cells, scaleCellConfig(app, sz, mode, nodes, "flat"))
+				if nodes > 8 {
+					cells = append(cells, scaleCellConfig(app, sz, mode, nodes, "tree"))
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func scaleTopo(c harness.Config) string {
+	if c.Tier != harness.TierPaper {
+		return "tree"
+	}
+	return "flat"
+}
+
+// runScaleJSON runs the scaling grid and writes the report.
+func runScaleJSON(path string, sz harness.Size) error {
+	cells := scaleGrid(sz)
+	start := time.Now()
+	results := harness.RunGrid(cells)
+	wall := time.Since(start)
+	rep := scaleReport{
+		Size:        string(sz),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		TotalWallMs: float64(wall) / 1e6,
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s/%s n=%d %s: %w", cells[i].App, cells[i].Mode, cells[i].Nodes, scaleTopo(cells[i]), r.Err)
+		}
+		rep.Cells = append(rep.Cells, scaleCell{
+			App:          r.App,
+			Mode:         r.Mode.String(),
+			Nodes:        r.Nodes,
+			Topo:         scaleTopo(r.Config),
+			VirtualMs:    float64(r.ExecNs) / 1e6,
+			Msgs:         r.MsgsSent,
+			Bytes:        r.BytesSent,
+			BytesPerNode: r.BytesSent / int64(r.Nodes),
+			WallMs:       float64(r.WallNs) / 1e6,
+		})
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	printScaleTable(rep)
+	fmt.Printf("wrote %s: %d cells, total wall %.1f ms\n", path, len(rep.Cells), rep.TotalWallMs)
+	return nil
+}
+
+func printScaleTable(rep scaleReport) {
+	fmt.Printf("Scaling grid (size=%s): per-node wire bytes, flat vs tree+delta\n", rep.Size)
+	fmt.Printf("%-12s %-9s %6s %-5s %12s %12s %14s %10s\n",
+		"app", "protocol", "nodes", "topo", "vms", "msgs", "bytes/node", "wall ms")
+	for _, c := range rep.Cells {
+		fmt.Printf("%-12s %-9s %6d %-5s %12.1f %12d %14d %10.1f\n",
+			c.App, c.Mode, c.Nodes, c.Topo, c.VirtualMs, c.Msgs, c.BytesPerNode, c.WallMs)
+	}
+}
+
+// runScaleCompare re-runs the grid recorded in oldPath and fails on any
+// virtual-metric drift — the repeat-run bit-identity gate for the scaling
+// tiers, exactly parallel to -compare for the paper grid.
+func runScaleCompare(oldPath string) error {
+	blob, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old scaleReport
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	cells := make([]harness.Config, len(old.Cells))
+	for i, c := range old.Cells {
+		mode := svm.ModeBase
+		if c.Mode != svm.ModeBase.String() {
+			mode = svm.ModeFT
+		}
+		cells[i] = scaleCellConfig(c.App, harness.Size(old.Size), mode, c.Nodes, c.Topo)
+	}
+	start := time.Now()
+	results := harness.RunGrid(cells)
+	wall := time.Since(start)
+	fmt.Printf("Scaling comparison vs %s (size=%s)\n", oldPath, old.Size)
+	drift := 0
+	for i, r := range results {
+		o := old.Cells[i]
+		if r.Err != nil {
+			fmt.Printf("%-12s %-9s %6d %-5s ERROR: %v\n", o.App, o.Mode, o.Nodes, o.Topo, r.Err)
+			drift++
+			continue
+		}
+		dvms := float64(r.ExecNs)/1e6 - o.VirtualMs
+		dmsgs := r.MsgsSent - o.Msgs
+		dbytes := r.BytesSent - o.Bytes
+		if dvms != 0 || dmsgs != 0 || dbytes != 0 {
+			drift++
+		}
+		fmt.Printf("%-12s %-9s %6d %-5s %+10.3f vms %+10d msgs %+12d bytes\n",
+			o.App, o.Mode, o.Nodes, o.Topo, dvms, dmsgs, dbytes)
+	}
+	fmt.Printf("total wall: %.1f ms old, %.1f ms new\n", old.TotalWallMs, float64(wall)/1e6)
+	if drift != 0 {
+		return fmt.Errorf("%d cell(s) changed virtual metrics — scaling behavior drifted", drift)
+	}
+	fmt.Println("virtual metrics identical in every cell")
+	return nil
+}

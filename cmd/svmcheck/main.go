@@ -62,6 +62,7 @@ func main() {
 	app := flag.String("app", "waternsq", "application (see svmrun -list)")
 	size := flag.String("size", "small", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
+	tierFlag := flag.String("tier", "", "scale tier preset: paper, large (64 nodes), huge (256 nodes); overrides -nodes")
 	tpn := flag.Int("threads", 1, "threads per node")
 	lock := flag.String("lock", "polling", "lock algorithm: polling, nic")
 	detect := flag.String("detect", "probe", "failure detection: probe (honest probe/ack traffic), oracle")
@@ -87,6 +88,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	tier, err := harness.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if tier != harness.TierPaper {
+		// The tier fixes the cluster shape; resolve the node count so the
+		// victim loop and the banner see the real cluster size.
+		scratch := model.Default()
+		if err := tier.Apply(&scratch); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		*nodes = scratch.Nodes
+	}
 	var seqs []int64
 	for _, f := range strings.Split(*seqsFlag, ",") {
 		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
@@ -101,7 +117,7 @@ func main() {
 	fmt.Printf("svmcheck: %s size=%s, %d nodes x %d thread(s), %s lock, %s detection; %d milestones x %d victims x %d seqs\n",
 		*app, *size, *nodes, *tpn, *lock, det, len(milestones), *nodes, len(seqs))
 
-	sch := schedule{app: *app, size: harness.Size(*size), nodes: *nodes, tpn: *tpn,
+	sch := schedule{app: *app, size: harness.Size(*size), tier: tier, nodes: *nodes, tpn: *tpn,
 		algo: algo, det: det, stride: *stride, ring: *ring}
 	ran, unreachable, failed := 0, 0, 0
 	for _, kind := range milestones {
@@ -137,6 +153,7 @@ func main() {
 type schedule struct {
 	app    string
 	size   harness.Size
+	tier   harness.Tier
 	nodes  int
 	tpn    int
 	algo   svm.LockAlgo
@@ -150,6 +167,9 @@ type schedule struct {
 // failure the last flight-recorder events of every node are dumped.
 func (s schedule) run(kind string, victim int, seq int64) (reached bool, err error) {
 	cfg := model.Default()
+	if err := s.tier.Apply(&cfg); err != nil {
+		return false, err
+	}
 	cfg.Nodes = s.nodes
 	cfg.ThreadsPerNode = s.tpn
 	cfg.Detection = s.det

@@ -42,11 +42,13 @@ func main() {
 	appsFlag := flag.String("app", "counter,falseshare", "comma-separated applications to sweep")
 	size := flag.String("size", "small", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
+	tierFlag := flag.String("tier", "", "scale tier preset: paper, large (64 nodes), huge (256 nodes); overrides -nodes")
 	threads := flag.Int("threads", 1, "compute threads per node")
 	lock := flag.String("lock", "polling", "lock algorithm: polling (the queue lock has no FT variant)")
 	detect := flag.String("detect", "oracle", "failure detection: oracle, probe")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	budget := flag.Int("budget", 0, "cap the sweep at this many boundaries, evenly sampled (0: exhaustive)")
+	stride := flag.Int("audit-stride", 0, "invariant-auditor page-sweep stride (0: every event; large clusters want a sampled stride)")
 	workers := flag.Int("workers", 0, "parallel injection runs (0: GOMAXPROCS)")
 	shard := flag.String("shard", "", "multi-machine split i/n: sweep only boundaries with index = i mod n")
 	kinds := flag.String("kinds", "", "restrict to these boundary kinds (comma-separated)")
@@ -68,6 +70,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "svmfi: %v\n", err)
 		os.Exit(2)
 	}
+	tier, err := harness.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svmfi: %v\n", err)
+		os.Exit(2)
+	}
+	cellNodes := *nodes
+	if tier != harness.TierPaper {
+		// The tier fixes the cluster shape; -nodes keeps its default role
+		// only on the paper tier.
+		cellNodes = 0
+	}
 
 	failed := 0
 	for _, app := range strings.Split(*appsFlag, ",") {
@@ -76,10 +89,11 @@ func main() {
 			continue
 		}
 		sp := harness.ExploreSpec(harness.Config{
-			App: app, Size: harness.Size(*size),
-			Nodes: *nodes, ThreadsPerNode: *threads,
+			App: app, Size: harness.Size(*size), Tier: tier,
+			Nodes: cellNodes, ThreadsPerNode: *threads,
 			LockAlgo: svm.LockPolling, Detection: det,
-			Overrides: func(cfg *model.Config) { cfg.Seed = *seed },
+			AuditStride: *stride,
+			Overrides:   func(cfg *model.Config) { cfg.Seed = *seed },
 		})
 		failed += sweepApp(sp, *boundary, *budget, *workers, shardI, shardN, *kinds, *jsonOut, *verbose)
 	}

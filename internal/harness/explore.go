@@ -5,7 +5,6 @@ import (
 
 	"ftsvm/internal/apps"
 	"ftsvm/internal/explore"
-	"ftsvm/internal/model"
 	"ftsvm/internal/svm"
 )
 
@@ -19,18 +18,16 @@ func ExploreSpec(c Config) explore.Spec {
 		c.Mode = svm.ModeFT
 	}
 	name := fmt.Sprintf("%s/%s/n%d/t%d", c.App, c.Size, c.Nodes, c.ThreadsPerNode)
+	if c.Tier != TierPaper {
+		name = fmt.Sprintf("%s/%s/%s/t%d", c.App, c.Size, c.Tier, c.ThreadsPerNode)
+	}
 	return explore.Spec{
-		Name: name,
+		Name:        name,
+		AuditStride: c.AuditStride,
 		New: func() (explore.Instance, error) {
-			cfg := model.Default()
-			cfg.Nodes = c.Nodes
-			cfg.ThreadsPerNode = c.ThreadsPerNode
-			cfg.Detection = c.Detection
-			if c.Chaos != nil {
-				cfg.Chaos = *c.Chaos
-			}
-			if c.Overrides != nil {
-				c.Overrides(&cfg)
+			cfg, err := c.ModelConfig()
+			if err != nil {
+				return explore.Instance{}, err
 			}
 			s := apps.Shape{Nodes: cfg.Nodes, ThreadsPerNode: cfg.ThreadsPerNode, PageSize: cfg.PageSize}
 			w, err := Build(c.App, c.Size, s)

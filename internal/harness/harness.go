@@ -104,11 +104,86 @@ func Build(app string, size Size, s apps.Shape) (*apps.Workload, error) {
 	return nil, fmt.Errorf("harness: unknown app %q", app)
 }
 
+// Tier names a cluster-scale preset. The paper's grid stops at 8 nodes;
+// the larger tiers turn on the scale-out machinery (spanning-tree release
+// broadcast, delta-encoded vector times, bounded rotating probe windows)
+// that keeps per-node protocol cost sub-linear past it.
+type Tier string
+
+const (
+	// TierPaper is the zero value: whatever the cell's Nodes field says,
+	// with every scale-out knob off — the paper's behavior, bit-identical
+	// to the seed.
+	TierPaper Tier = ""
+	// TierLarge is a 64-node cluster: arity-4 release tree (depth 3),
+	// delta vector times, 3-neighbor rotating probes, and a lock backoff
+	// window widened for 64-way contention.
+	TierLarge Tier = "large"
+	// TierHuge is a 256-node cluster: arity-8 release tree (depth 3),
+	// delta vector times, 3-neighbor rotating probes, and a lock backoff
+	// window widened for 256-way contention.
+	TierHuge Tier = "huge"
+)
+
+// ParseTier maps a flag string to a Tier.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "paper":
+		return TierPaper, nil
+	case "large":
+		return TierLarge, nil
+	case "huge":
+		return TierHuge, nil
+	}
+	return TierPaper, fmt.Errorf("harness: unknown tier %q (want paper, large, or huge)", s)
+}
+
+// Apply sets the tier's cluster shape and scale-out knobs on cfg. A cell
+// that also sets Nodes explicitly overrides the tier's node count (e.g. a
+// 64-node run with the huge tier's knobs).
+func (t Tier) Apply(cfg *model.Config) error {
+	switch t {
+	case TierPaper:
+	case TierLarge:
+		cfg.Nodes = 64
+		cfg.FanoutArity = 4
+		cfg.VTCodec = model.VTDelta
+		cfg.ProbeNeighbors = 3
+		cfg.LockBackoffMaxNs = ScaledLockBackoffMaxNs(64)
+	case TierHuge:
+		cfg.Nodes = 256
+		cfg.FanoutArity = 8
+		cfg.VTCodec = model.VTDelta
+		cfg.ProbeNeighbors = 3
+		cfg.LockBackoffMaxNs = ScaledLockBackoffMaxNs(256)
+	default:
+		return fmt.Errorf("harness: unknown tier %q", string(t))
+	}
+	return nil
+}
+
+// ScaledLockBackoffMaxNs is the polling-lock backoff ceiling for an
+// n-node cluster. The paper's 40 µs window (model.Default) is tuned for
+// at most 7 contenders: each polling round costs the lock home ~4
+// messages plus a reply whose vector timestamp grows with N, so once
+// N-1 contenders re-poll faster than the home NIC can serve them the
+// home's queue — and with it the virtual time per lock handoff —
+// diverges; the paper-grid window live-locks a 64-way contended lock.
+// Both the contender count and the per-round service time grow with N,
+// so the window scales quadratically, keeping home occupancy per
+// backoff window roughly constant as the cluster grows.
+func ScaledLockBackoffMaxNs(nodes int) int64 {
+	return 40_000 * int64(nodes) * int64(nodes) / 64
+}
+
 // Config is one experiment cell.
 type Config struct {
-	App            string
-	Size           Size
-	Mode           svm.Mode
+	App  string
+	Size Size
+	Mode svm.Mode
+	// Tier applies a scale preset before Nodes/Overrides; the zero value
+	// is the paper grid (no scale-out knobs).
+	Tier           Tier
 	Nodes          int
 	ThreadsPerNode int
 	LockAlgo       svm.LockAlgo
@@ -130,6 +205,11 @@ type Config struct {
 	Chaos *model.Chaos
 	// Overrides tweaks the cost model before the run (ablations).
 	Overrides func(*model.Config)
+	// AuditStride, when > 0, attaches the online invariant auditor with
+	// that page-sweep stride (1: audit every event). Auditing is a
+	// host-side check: virtual metrics are unchanged, only wall time
+	// grows.
+	AuditStride int
 	// Workers selects the simulation engine: <= 1 runs the serial engine
 	// (the default), > 1 the conservative parallel engine with that many
 	// lane workers. Virtual metrics are bit-identical either way.
@@ -214,16 +294,35 @@ func runWithStats(c Config) (Result, svm.ProtoStats) {
 	return r, st
 }
 
-func runCell(c Config) (Result, svm.ProtoStats) {
+// ModelConfig assembles the cell's cost-model configuration: defaults,
+// then the tier preset, then the cell's explicit shape fields, then the
+// ablation override hook. Shared by the benchmark runner and the failure
+// explorer so a cell means the same cluster everywhere.
+func (c Config) ModelConfig() (model.Config, error) {
 	cfg := model.Default()
-	cfg.Nodes = c.Nodes
-	cfg.ThreadsPerNode = c.ThreadsPerNode
+	if err := c.Tier.Apply(&cfg); err != nil {
+		return cfg, err
+	}
+	if c.Nodes != 0 {
+		cfg.Nodes = c.Nodes
+	}
+	if c.ThreadsPerNode != 0 {
+		cfg.ThreadsPerNode = c.ThreadsPerNode
+	}
 	cfg.Detection = c.Detection
 	if c.Chaos != nil {
 		cfg.Chaos = *c.Chaos
 	}
 	if c.Overrides != nil {
 		c.Overrides(&cfg)
+	}
+	return cfg, nil
+}
+
+func runCell(c Config) (Result, svm.ProtoStats) {
+	cfg, err := c.ModelConfig()
+	if err != nil {
+		return Result{Config: c, Err: err}, svm.ProtoStats{}
 	}
 	s := apps.Shape{Nodes: cfg.Nodes, ThreadsPerNode: cfg.ThreadsPerNode, PageSize: cfg.PageSize}
 	w, err := Build(c.App, c.Size, s)
@@ -245,6 +344,9 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 	})
 	if err != nil {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}
+	}
+	if c.AuditStride > 0 {
+		cl.EnableAuditor(c.AuditStride)
 	}
 	if err := cl.Run(); err != nil {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}

@@ -56,6 +56,25 @@ type Config struct {
 	Detection          DetectionMode // how waiting processes decide a peer is dead
 	ProbeTimeoutNs     int64         // probe-mode: wait this long for a probe ack before counting a miss
 	ProbeMissLimit     int           // probe-mode: consecutive missed probes before a suspicion is confirmed
+	// ProbeNeighbors bounds probe-mode liveness sweeps: each sweep probes
+	// only this many live ring successors, rotating the window so full
+	// coverage is reached over ceil((N-1)/ProbeNeighbors) sweeps instead of
+	// sending O(N) probes per waiter per sweep. 0 (the default) probes every
+	// node per sweep — the paper-scale behavior. Oracle mode ignores it.
+	ProbeNeighbors int
+
+	// Scale-out knobs (all zero-value = the paper's 8-node behavior).
+	//
+	// FanoutArity >= 2 turns the barrier master's release broadcast into a
+	// k-ary spanning tree over the live membership: the master posts to its
+	// k children, each interior node forwards to its own k children from NI
+	// context on delivery. < 2 keeps the flat O(N) broadcast loop.
+	FanoutArity int
+	// VTCodec selects the wire encoding of vector timestamps (VTFull, the
+	// default, models the flat 4-bytes-per-entry encoding; VTDelta models a
+	// per-link delta encoding that ships only entries changed since the
+	// last message on that sender->receiver link).
+	VTCodec VTCodecMode
 
 	// Retransmission. 0 means derived per message: 4*LinkLatencyNs plus
 	// twice the serialization time (size * BandwidthNsPerByte), so a lost
@@ -104,6 +123,45 @@ func ParseDetection(s string) (DetectionMode, error) {
 		return DetectProbe, nil
 	}
 	return 0, fmt.Errorf("model: unknown detection mode %q (want oracle or probe)", s)
+}
+
+// VTCodecMode selects how vector timestamps are encoded on the wire.
+type VTCodecMode int
+
+const (
+	// VTFull models the flat encoding: 4 bytes per vector element on every
+	// message. This is the seed behavior and keeps legacy tiers
+	// bit-identical.
+	VTFull VTCodecMode = iota
+	// VTDelta models a per-link delta encoding: each sender tracks the last
+	// vector it shipped to each destination and encodes only the entries
+	// that changed since, falling back to the full encoding when the delta
+	// would be larger (dense change sets). Per-sender FIFO delivery and NIC
+	// retransmission make the receiver's decode context exactly the
+	// sender's link state, so the encoding is lossless.
+	VTDelta
+)
+
+// String returns the flag spelling of the codec mode.
+func (m VTCodecMode) String() string {
+	switch m {
+	case VTFull:
+		return "full"
+	case VTDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("VTCodecMode(%d)", int(m))
+}
+
+// ParseVTCodec parses a -vtcodec flag value.
+func ParseVTCodec(s string) (VTCodecMode, error) {
+	switch s {
+	case "full":
+		return VTFull, nil
+	case "delta":
+		return VTDelta, nil
+	}
+	return 0, fmt.Errorf("model: unknown vector-time codec %q (want full or delta)", s)
 }
 
 // Chaos configures the deterministic per-link fault layer of the simulated
@@ -240,6 +298,38 @@ func (c *Config) RetxTimeout(size int) int64 {
 	return 4*c.LinkLatencyNs + 2*int64(float64(size)*c.BandwidthNsPerByte)
 }
 
+// TreeDepth returns the depth of the FanoutArity-ary broadcast tree over n
+// members (root at depth 0), or 1 for the flat broadcast — every member is
+// one hop from the master either way when no tree is configured.
+func (c *Config) TreeDepth(n int) int {
+	k := c.FanoutArity
+	if k < 2 || n <= 1 {
+		return 1
+	}
+	depth, width, covered := 0, 1, 1
+	for covered < n {
+		width *= k
+		covered += width
+		depth++
+	}
+	return depth
+}
+
+// BarrierWaitNs returns how long a barrier (or recovery-barrier) waiter
+// sleeps before running a liveness sweep. The flat-broadcast value is the
+// seed's exact constant; with tree fan-out the release travels
+// TreeDepth hops — each paying post overhead, k drain slots, and wire
+// latency — so the timeout grows with the tree depth instead of firing
+// spurious probe storms at 64+ nodes.
+func (c *Config) BarrierWaitNs() int64 {
+	w := 4 * c.HeartbeatTimeoutNs
+	if c.FanoutArity >= 2 {
+		hop := c.LinkLatencyNs + c.NICPostOverheadNs + int64(c.FanoutArity)*c.NICDrainOverheadNs
+		w += 2 * int64(c.TreeDepth(c.Nodes)) * hop
+	}
+	return w
+}
+
 // Validate reports the first structural problem with the configuration.
 func (c *Config) Validate() error {
 	switch {
@@ -261,6 +351,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: unknown Detection mode %d", int(c.Detection))
 	case c.RetxTimeoutNs < 0:
 		return fmt.Errorf("model: RetxTimeoutNs = %d, need >= 0 (0: derived)", c.RetxTimeoutNs)
+	case c.FanoutArity < 0 || c.FanoutArity == 1:
+		return fmt.Errorf("model: FanoutArity = %d, need 0 (flat) or >= 2", c.FanoutArity)
+	case c.VTCodec != VTFull && c.VTCodec != VTDelta:
+		return fmt.Errorf("model: unknown VTCodec mode %d", int(c.VTCodec))
+	case c.ProbeNeighbors < 0:
+		return fmt.Errorf("model: ProbeNeighbors = %d, need >= 0 (0: probe all)", c.ProbeNeighbors)
 	}
 	if c.Detection == DetectProbe {
 		if c.ProbeTimeoutNs <= 0 {

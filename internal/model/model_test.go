@@ -66,3 +66,38 @@ func TestContention(t *testing.T) {
 		t.Fatal("contention should grow with active threads")
 	}
 }
+
+func TestTreeDepth(t *testing.T) {
+	cfg := Default()
+	cfg.FanoutArity = 4
+	for _, c := range []struct{ n, want int }{
+		{1, 1}, {2, 1}, {5, 1}, {6, 2}, {21, 2}, {22, 3}, {64, 3}, {256, 4},
+	} {
+		if got := cfg.TreeDepth(c.n); got != c.want {
+			t.Errorf("TreeDepth(%d) arity 4 = %d, want %d", c.n, got, c.want)
+		}
+	}
+	cfg.FanoutArity = 0
+	if got := cfg.TreeDepth(64); got != 1 {
+		t.Errorf("flat TreeDepth(64) = %d, want 1", got)
+	}
+}
+
+func TestBarrierWaitScalesWithDepth(t *testing.T) {
+	flat := Default()
+	if flat.BarrierWaitNs() != 4*flat.HeartbeatTimeoutNs {
+		t.Fatal("flat barrier wait must stay the legacy 4x heartbeat")
+	}
+	small := Default()
+	small.Nodes = 8
+	small.FanoutArity = 2
+	big := Default()
+	big.Nodes = 256
+	big.FanoutArity = 2
+	if small.BarrierWaitNs() <= flat.BarrierWaitNs() {
+		t.Fatal("tree barrier wait must cover relay hops beyond the flat timeout")
+	}
+	if big.BarrierWaitNs() <= small.BarrierWaitNs() {
+		t.Fatal("barrier wait must grow with tree depth")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"ftsvm/internal/model"
 	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
+	"ftsvm/internal/vmmc"
 )
 
 // Barrier performs a global barrier over all compute threads: each node's
@@ -44,7 +45,7 @@ func (t *Thread) Barrier() {
 			break
 		}
 		t0 := t.beginWait()
-		woken := n.barGate.WaitTimeout(t.proc, 4*t.cl.cfg.HeartbeatTimeoutNs)
+		woken := n.barGate.WaitTimeout(t.proc, t.cl.cfg.BarrierWaitNs())
 		t.endWait(CompBarrier, t0)
 		if !woken {
 			t.probeCluster()
@@ -124,7 +125,7 @@ func (t *Thread) sendArrival(epoch int64) {
 	}
 	t.charge(CompBarrier, t.cl.cfg.NICPostOverheadNs)
 	t0 := t.beginWait()
-	n.ep.Post(t.proc, master, a.wireBytes(), a)
+	n.ep.Post(t.proc, master, n.msgWire(master, a), a)
 	t.endWait(CompBarrier, t0)
 }
 
@@ -179,30 +180,92 @@ func (n *node) masterArrive(a *barArrive) {
 	// release undelivered — recovery must replace the master and resend
 	// arrivals against the new membership.
 	n.cl.trace(obs.KBarrierRelease, n.id, -1, int64(a.Epoch))
+	if n.cl.cfg.FanoutArity >= 2 {
+		// Spanning-tree broadcast: deliverBarRelease forwards to this
+		// node's tree children, and every receiver forwards onward.
+		n.deliverBarRelease(rel)
+		return
+	}
 	for _, nd := range n.cl.nodes {
 		if nd.excluded || nd.id == n.id {
 			continue
 		}
-		n.ep.PostSystem(nd.id, rel.wireBytes(), rel)
+		n.ep.PostSystem(nd.id, n.msgWire(nd.id, rel), rel)
 	}
 	n.deliverBarRelease(rel)
 }
 
-// deliverBarRelease lands a barrier release on this node.
+// deliverBarRelease lands a barrier release on this node; under tree
+// fan-out it also forwards the release to the node's tree children from
+// NI context (the Hermes-style cheap broadcast: each hop pays post, drain,
+// and wire costs, but no processor is involved in relaying).
 func (n *node) deliverBarRelease(rel *barRelease) {
 	if int64(rel.Epoch) <= int64(n.barEpoch) {
 		return
+	}
+	if n.cl.cfg.FanoutArity >= 2 && int64(rel.Epoch) > n.barForwarded {
+		// The duplicate-forward guard: post-recovery resends may deliver
+		// one epoch's release twice (old tree + new tree); each node relays
+		// a given episode at most once, so no forwarding cycle can form
+		// when membership — and with it the tree shape — changes between
+		// deliveries.
+		n.barForwarded = int64(rel.Epoch)
+		for _, c := range n.cl.fanoutChildren(n.id) {
+			n.ep.PostSystem(c, n.msgWire(c, rel), rel)
+		}
 	}
 	n.barRelease = rel
 	n.barGate.Broadcast()
 }
 
-// probeCluster checks every node's liveness; a dead node found outside a
+// fanoutChildren returns the ids this node forwards a tree broadcast to:
+// the live (non-excluded) membership is listed in ascending id order with
+// the current master rotated to the root, and the node at tree index i
+// has children at indexes k*i+1 .. k*i+k. Recomputed per call so the tree
+// always reflects the current membership — a recovery that excludes a
+// node reshapes the tree for every later broadcast.
+func (cl *Cluster) fanoutChildren(self int) []int {
+	k := cl.cfg.FanoutArity
+	live := make([]int, 0, len(cl.nodes))
+	master := cl.masterNode()
+	live = append(live, master)
+	for id, nd := range cl.nodes {
+		if !nd.excluded && id != master {
+			live = append(live, id)
+		}
+	}
+	idx := -1
+	for i, id := range live {
+		if id == self {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil // excluded nodes relay nothing
+	}
+	lo := k*idx + 1
+	if lo >= len(live) {
+		return nil
+	}
+	hi := lo + k
+	if hi > len(live) {
+		hi = len(live)
+	}
+	return live[lo:hi]
+}
+
+// probeCluster checks node liveness; a dead node found outside a
 // communication error (e.g. while waiting at a barrier) is reported to the
 // failure machinery. This is the heartbeat of §4.1: in oracle mode a free
-// ground-truth sweep (the seed behavior), in probe mode one real
-// probe/ack round per suspect through the NIC, with a failure reported
-// only once the detector has confirmed ProbeMissLimit consecutive misses.
+// ground-truth sweep over every node (the seed behavior), in probe mode
+// real probe/ack rounds through the NIC, with a failure reported only once
+// the detector has confirmed ProbeMissLimit consecutive misses. With
+// Config.ProbeNeighbors > 0 each probe-mode sweep covers only a rotating
+// ring window of that many live peers — per-sweep traffic drops from
+// O(N) probes per waiter (O(N^2) cluster-wide) to O(k), and the rotation
+// guarantees every peer is still probed within ceil((N-1)/k) sweeps, so a
+// failure anywhere is detected, just over a few more timeouts.
 func (t *Thread) probeCluster() {
 	cl := t.cl
 	if cl.cfg.Detection != model.DetectProbe {
@@ -214,10 +277,8 @@ func (t *Thread) probeCluster() {
 		return
 	}
 	n := t.node
-	for i, nd := range cl.nodes {
-		if nd.excluded || i == n.id {
-			continue
-		}
+	targets := t.probeTargets()
+	for _, i := range targets {
 		t.charge(CompProtocol, cl.cfg.NICPostOverheadNs)
 		t0 := t.beginWait()
 		alive := n.ep.DetectRound(t.proc, i)
@@ -226,4 +287,27 @@ func (t *Thread) probeCluster() {
 			cl.reportFailure(i)
 		}
 	}
+}
+
+// probeTargets returns the peers this probe-mode sweep checks: every live
+// peer (the paper-scale behavior), or the node's current rotating ring
+// window when Config.ProbeNeighbors bounds the sweep.
+func (t *Thread) probeTargets() []int {
+	cl := t.cl
+	n := t.node
+	ring := make([]int, 0, len(cl.nodes))
+	for id, nd := range cl.nodes {
+		if !nd.excluded {
+			ring = append(ring, id)
+		}
+	}
+	k := cl.cfg.ProbeNeighbors
+	targets := vmmc.RingWindow(ring, n.id, n.probeRot, k)
+	if k > 0 && k < len(ring)-1 {
+		n.probeRot += k
+		if n.probeRot >= (len(ring)-1)*len(ring) {
+			n.probeRot = 0 // keep the offset small; any multiple of one lap is equivalent
+		}
+	}
+	return targets
 }

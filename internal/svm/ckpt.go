@@ -95,7 +95,7 @@ func (t *Thread) saveThreadState(s *Thread) {
 		m := &ckptMsg{ThreadID: s.id, HomeNode: t.node.id, Snap: snap}
 		t.charge(CompCheckpoint, cfg.NICPostOverheadNs)
 		t0 := t.beginWait()
-		t.node.ep.Post(t.proc, backup, m.wireBytes(), m)
+		t.node.ep.Post(t.proc, backup, t.node.msgWire(backup, m), m)
 		err := t.node.ep.Fence(t.proc)
 		t.endWait(CompCheckpoint, t0)
 		if err == nil {

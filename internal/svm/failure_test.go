@@ -7,13 +7,16 @@ import (
 	"ftsvm/internal/model"
 )
 
-// killTracer kills a node when a specific trace event fires.
+// killTracer kills a node when a specific trace event fires. A non-nil
+// kill hook replaces the immediate KillNode (e.g. to schedule the kill a
+// beat later, mid-broadcast).
 type killTracer struct {
 	cl   *Cluster
 	kind string
 	node int
 	seq  int64 // 0 = any
 	done bool
+	kill func()
 }
 
 func (k *killTracer) Event(e TraceEvent) {
@@ -24,6 +27,10 @@ func (k *killTracer) Event(e TraceEvent) {
 		return
 	}
 	k.done = true
+	if k.kill != nil {
+		k.kill()
+		return
+	}
 	k.cl.KillNode(k.node)
 }
 

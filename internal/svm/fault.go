@@ -107,7 +107,7 @@ func (t *Thread) remoteFetch(pg *page, home int) (needRecovery bool) {
 	cfg := t.cl.cfg
 	req := &fetchReq{Page: pg.id, Need: pg.fetchNeed(t.node.id)}
 	t0 := t.beginWait()
-	v, err := t.node.ep.RequestAbort(t.proc, home, req.wireBytes(), req,
+	v, err := t.node.ep.RequestAbort(t.proc, home, t.node.msgWire(home, req), req,
 		func() bool { return t.cl.rec.pending })
 	t.endWait(CompDataWait, t0)
 	if err != nil {

@@ -37,7 +37,7 @@ func (n *node) handle(d *vmmc.Delivery) {
 		n.applyLockMsg(d.Src, m)
 	case *nicTestSet:
 		rep := n.nicTestAndSet(m)
-		d.Reply(rep, rep.wireBytes())
+		d.Reply(rep, n.msgWire(d.Src, rep))
 	case *lockRead:
 		lh := n.lockHomesState[m.Lock]
 		if lh == nil {
@@ -48,14 +48,14 @@ func (n *node) handle(d *vmmc.Delivery) {
 			lh = n.lockHomesState[m.Lock]
 		}
 		rep := lh.readReply()
-		d.Reply(rep, rep.wireBytes())
+		d.Reply(rep, n.msgWire(d.Src, rep))
 	case *barArrive:
 		n.masterArrive(m)
 	case *barRelease:
 		n.deliverBarRelease(m)
 	case *savedReq:
 		rep := n.savedReplyFor(m.Dead)
-		d.Reply(rep, rep.wireBytes())
+		d.Reply(rep, n.msgWire(d.Src, rep))
 	case *lockRebuild:
 		n.installLock(m)
 	default:
@@ -136,7 +136,7 @@ func (n *node) handleFetch(d *vmmc.Delivery, m *fetchReq) {
 	}
 	if ver.Covers(m.Need) {
 		rep := &fetchReply{Page: m.Page, Data: n.clonePageBuf(buf), Ver: ver.Clone()}
-		d.Reply(rep, rep.wireBytes())
+		d.Reply(rep, n.msgWire(d.Src, rep))
 		return
 	}
 	pg.waiters = append(pg.waiters, fetchWaiter{d: d, need: m.Need})

@@ -99,7 +99,7 @@ func (t *Thread) handOver(l int, ol *ownedLock) {
 		t.cl.trace(obs.KLockRelease, n.id, t.id, int64(l))
 		g := &qlGrant{Lock: l, VT: n.vt.Clone()}
 		t.charge(CompLock, t.cl.cfg.NICPostOverheadNs)
-		n.ep.PostSystem(dst, g.wireBytes(), g)
+		n.ep.PostSystem(dst, n.msgWire(dst, g), g)
 		ol.gate.Broadcast() // local waiters must re-contend remotely
 	case ol.localWaiters > 0:
 		// Intra-SMP exchange: keep node ownership, wake a local waiter.
@@ -110,9 +110,11 @@ func (t *Thread) handOver(l int, ol *ownedLock) {
 		ol.held = false
 		t.cl.trace(obs.KLockRelease, n.id, t.id, int64(l))
 		rel := &lockRelease{Lock: l, Node: n.id, VT: n.vt.Clone()}
-		t.postLockMsg(t.cl.lockHomes.Primary(l), rel, rel.wireBytes())
+		prim := t.cl.lockHomes.Primary(l)
+		t.postLockMsg(prim, rel, n.msgWire(prim, rel))
 		if t.cl.opt.Mode == ModeFT {
-			t.postLockMsg(t.cl.lockHomes.Secondary(l), rel, rel.wireBytes())
+			sec := t.cl.lockHomes.Secondary(l)
+			t.postLockMsg(sec, rel, n.msgWire(sec, rel))
 		}
 	default:
 		// Queue lock, uncontended: the lock stays cached on this node;
@@ -374,7 +376,7 @@ func (n *node) applyLockMsg(src int, payload any) {
 			// Free at home: grant with the home-stored timestamp.
 			lh.tail = m.Requester
 			g := &qlGrant{Lock: m.Lock, VT: lh.vt.Clone()}
-			n.sendOrDeliver(m.Requester, g, g.wireBytes())
+			n.sendOrDeliver(m.Requester, g, n.msgWire(m.Requester, g))
 		} else {
 			old := lh.tail
 			lh.tail = m.Requester
@@ -387,7 +389,7 @@ func (n *node) applyLockMsg(src int, payload any) {
 			// Cached and idle: grant immediately.
 			ol.held = false
 			g := &qlGrant{Lock: m.Lock, VT: ol.releaseVT.Clone()}
-			n.sendOrDeliver(m.Requester, g, g.wireBytes())
+			n.sendOrDeliver(m.Requester, g, n.msgWire(m.Requester, g))
 		} else {
 			ol.pendingGrant = m.Requester
 		}

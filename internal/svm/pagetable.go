@@ -2,6 +2,7 @@ package svm
 
 import (
 	"ftsvm/internal/mem"
+	"ftsvm/internal/model"
 	"ftsvm/internal/proto"
 	"ftsvm/internal/sim"
 	"ftsvm/internal/vmmc"
@@ -277,10 +278,17 @@ func (pg *page) applyDiff(copyBuf []byte, ver proto.VectorTime, src int, interva
 // its working copy (or recycles them on a stale reply).
 func (pg *page) serveWaiters(ver proto.VectorTime, buf []byte, replySize int) {
 	kept := pg.waiters[:0]
+	n := pg.pt.node
 	for _, w := range pg.waiters {
 		if ver.Covers(w.need) {
-			data := pg.pt.node.clonePageBuf(buf)
-			w.d.Reply(&fetchReply{Page: pg.id, Data: data, Ver: ver.Clone()}, replySize)
+			rep := &fetchReply{Page: pg.id, Data: n.clonePageBuf(buf), Ver: ver.Clone()}
+			sz := replySize
+			if n.cl.cfg.VTCodec == model.VTDelta {
+				// The legacy replySize is a flat approximation; the delta
+				// codec must cost (and advance) the real link context.
+				sz = n.msgWire(w.d.Src, rep)
+			}
+			w.d.Reply(rep, sz)
 		} else {
 			kept = append(kept, w)
 		}

@@ -223,29 +223,7 @@ func (t *Thread) runRecovery() {
 	t.globalSync(dead, saved)
 	migrated := t.migrateThreads(dead, saved)
 
-	// Reset barrier plumbing: in-flight arrivals may be stale (dead master
-	// or dead member); everything is resent against the new membership.
-	for _, n := range cl.nodes {
-		if n.dead {
-			continue
-		}
-		n.masterArrivals = make(map[int]map[int]*barArrive)
-		n.barSentEpoch = 0
-	}
-	// Nodes stuck one episode behind a completed one roll forward: the
-	// global sync above already delivered the consistency information.
-	maxDone := 0
-	for _, n := range cl.nodes {
-		if !n.dead && n.barEpoch > maxDone {
-			maxDone = n.barEpoch
-		}
-	}
-	for _, n := range cl.nodes {
-		if !n.dead && n.barEpoch < maxDone && n.barCount[int64(n.barEpoch+1)] > 0 {
-			n.barEpoch = maxDone
-			delete(n.barCount, int64(maxDone))
-		}
-	}
+	cl.resetBarrierPlumbing()
 
 	cl.nodes[dead].excluded = true
 	t.node.stats.Recoveries++
@@ -271,6 +249,63 @@ func (t *Thread) runRecovery() {
 	}
 	cl.trace(obs.KRecoveryDone, dead, t.id, int64(rec.epoch))
 	_ = migrated
+}
+
+// resetBarrierPlumbing rebuilds the cluster's barrier state against the
+// post-recovery membership: in-flight arrivals may be stale (dead master
+// or dead member), so everything is resent against the new membership.
+func (cl *Cluster) resetBarrierPlumbing() {
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		n.masterArrivals = make(map[int]map[int]*barArrive)
+		n.barSentEpoch = 0
+	}
+	// Nodes stuck one episode behind a completed one roll forward: the
+	// global sync already delivered the consistency information.
+	maxDone := 0
+	for _, n := range cl.nodes {
+		if !n.dead && n.barEpoch > maxDone {
+			maxDone = n.barEpoch
+		}
+	}
+	for _, n := range cl.nodes {
+		if !n.dead && n.barEpoch < maxDone && n.barCount[int64(n.barEpoch+1)] > 0 {
+			n.barEpoch = maxDone
+		}
+	}
+	for _, n := range cl.nodes {
+		if n.dead {
+			continue
+		}
+		// Drop arrival counts for episodes at or below the roll-forward
+		// horizon. The old code deleted only barCount[maxDone] on the node
+		// being rolled forward; every skipped intermediate epoch leaked a
+		// map entry forever — invisible at the paper's 8 nodes, unbounded
+		// at 64+ where recoveries skip more episodes.
+		for e := range n.barCount {
+			if e <= int64(maxDone) {
+				delete(n.barCount, e)
+			}
+		}
+		// A release the dead master broadcast but no thread here applied yet
+		// is stale: applying it after the reset would advance this node past
+		// an episode the new master still expects an arrival for (barSentEpoch
+		// was just cleared), deadlocking the barrier — the master waits on an
+		// arrival this node will never resend. Clear it; the episode is
+		// re-merged from the resent arrivals. Releases at or below maxDone
+		// completed cluster-wide and stay consumable.
+		if rel := n.barRelease; rel != nil && int64(rel.Epoch) > int64(maxDone) {
+			n.barRelease = nil
+		}
+		// Under tree fan-out the re-broadcast of an episode this node already
+		// relayed once must be relayed again on the post-recovery tree, or
+		// its new subtree never hears the release.
+		if n.barForwarded > int64(maxDone) {
+			n.barForwarded = int64(maxDone)
+		}
+	}
 }
 
 // savedState is the dead node's replicated protocol state.

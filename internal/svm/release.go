@@ -620,7 +620,7 @@ func (t *Thread) saveTimestamp(itv int32, caps []capturedDiff) {
 		}
 		t.charge(CompCheckpoint, t.cl.cfg.NICPostOverheadNs)
 		t0 := t.beginWait()
-		n.ep.Post(t.proc, backup, m.wireBytes(), m)
+		n.ep.Post(t.proc, backup, n.msgWire(backup, m), m)
 		err := n.ep.Fence(t.proc)
 		// The deposit's bulk is the point-B thread state; the paper counts
 		// remote state saving under checkpointing.

@@ -1,0 +1,234 @@
+package svm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ftsvm/internal/model"
+)
+
+// Tests for the scale-out features (tree fan-out, delta vector-time
+// encoding, bounded probe windows) and the capacity audits that make the
+// 64-node tier safe: every assumption that silently held at the paper's
+// 8 nodes is pinned by a revert-failing regression here.
+
+// TestThreadCapGuard pins the int16 writer-tag audit: page.writers stores
+// thread ids as int16, so New must refuse a cluster whose thread count
+// would alias writer identity instead of silently corrupting deferral.
+func TestThreadCapGuard(t *testing.T) {
+	cfg := model.Default()
+	cfg.Nodes = 256
+	cfg.ThreadsPerNode = 129 // 33024 > 32767
+	_, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 256, Locks: 1, Body: func(*Thread) {}})
+	if err == nil {
+		t.Fatal("New accepted a cluster with more threads than int16 writer tags can name")
+	}
+	if !strings.Contains(err.Error(), "writer-tag") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestRecoveryBarrierReset pins the post-recovery barrier hygiene fixed for
+// the 64-node tier: stale arrival counts for skipped episodes must not leak
+// (old code deleted only barCount[maxDone]), an unapplied release beyond
+// the roll-forward horizon must be cleared (applying it after barSentEpoch
+// was wiped would deadlock the new master waiting for an arrival that will
+// never be resent), and the tree-forwarding watermark must roll back so the
+// re-broadcast is relayed on the post-recovery tree.
+func TestRecoveryBarrierReset(t *testing.T) {
+	cfg := model.Default()
+	cfg.Nodes = 4
+	cl, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 4, Locks: 1, Body: func(*Thread) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 (the dead master) merged episode 6 and broadcast partially.
+	cl.nodes[0].dead = true
+	// Node 1 applied nothing past 5; it holds the stranded release for 6.
+	cl.nodes[1].barEpoch = 5
+	cl.nodes[1].barRelease = &barRelease{Epoch: 6}
+	cl.nodes[1].barForwarded = 6
+	// Node 2 is one episode behind with threads arrived for 5 — it rolls
+	// forward — plus leaked counts from episodes long done.
+	cl.nodes[2].barEpoch = 4
+	cl.nodes[2].barCount[5] = 1
+	cl.nodes[2].barCount[2] = 1 // the leak: old code never deleted this
+	// Node 3 holds the release for an episode the cluster completed.
+	cl.nodes[3].barEpoch = 5
+	cl.nodes[3].barRelease = &barRelease{Epoch: 5}
+
+	cl.resetBarrierPlumbing()
+
+	if cl.nodes[2].barEpoch != 5 {
+		t.Fatalf("node 2 not rolled forward: barEpoch = %d, want 5", cl.nodes[2].barEpoch)
+	}
+	if len(cl.nodes[2].barCount) != 0 {
+		t.Fatalf("node 2 leaked barCount entries: %v", cl.nodes[2].barCount)
+	}
+	if cl.nodes[1].barRelease != nil {
+		t.Fatal("stranded release for an un-completed episode not cleared")
+	}
+	if cl.nodes[1].barForwarded != 5 {
+		t.Fatalf("barForwarded not rolled back: %d, want 5", cl.nodes[1].barForwarded)
+	}
+	if cl.nodes[3].barRelease == nil {
+		t.Fatal("completed-episode release must stay consumable")
+	}
+	for _, n := range cl.nodes[1:] {
+		if n.barSentEpoch != 0 {
+			t.Fatalf("node %d barSentEpoch not reset", n.id)
+		}
+	}
+}
+
+// phasedBody writes the thread's slot and barriers, rounds times: the
+// minimal many-episode workload for exercising the release broadcast.
+func phasedBody(rounds int) func(*Thread) {
+	return func(t *Thread) {
+		st := &counterState{}
+		t.Setup(st)
+		for st.Iter < rounds {
+			t.WriteU64(t.ID()*8, uint64((st.Iter+1)*1000+t.ID()))
+			st.Iter++
+			t.Barrier()
+		}
+	}
+}
+
+// checkPhased verifies every thread's slot holds its final-round value.
+func checkPhased(t *testing.T, cl *Cluster, rounds int) {
+	t.Helper()
+	for _, th := range cl.Threads() {
+		got := cl.PeekU64(th.ID() * 8)
+		want := uint64(rounds*1000 + th.ID())
+		if got != want {
+			t.Fatalf("thread %d slot = %d, want %d", th.ID(), got, want)
+		}
+	}
+}
+
+// TestTreeFanoutBarrier runs a multi-episode barrier workload over the
+// spanning-tree broadcast at several arities and sizes, with the online
+// auditor on, and checks the memory outcome against the flat broadcast's.
+func TestTreeFanoutBarrier(t *testing.T) {
+	const rounds = 6
+	for _, tc := range []struct{ nodes, arity int }{
+		{8, 2}, {16, 4}, {9, 3},
+	} {
+		cfg := model.Default()
+		cfg.Nodes = tc.nodes
+		cfg.FanoutArity = tc.arity
+		cl, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 2 * tc.nodes, Locks: 1, Body: phasedBody(rounds)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.EnableAuditor(1)
+		if err := cl.Run(); err != nil {
+			t.Fatalf("nodes=%d arity=%d: %v", tc.nodes, tc.arity, err)
+		}
+		if !cl.Finished() {
+			t.Fatalf("nodes=%d arity=%d: not all threads finished", tc.nodes, tc.arity)
+		}
+		checkPhased(t, cl, rounds)
+	}
+}
+
+// TestTreeFanoutMasterDeath kills the barrier master a beat after it merges
+// an episode under tree fan-out, sweeping the kill delay across the
+// broadcast's propagation window so every partial-delivery shape occurs:
+// no child reached, some subtrees reached (stranded unapplied releases on
+// relay nodes), and everyone reached. Recovery must clear strands, resend
+// arrivals, and re-broadcast on the reshaped tree.
+func TestTreeFanoutMasterDeath(t *testing.T) {
+	const rounds = 5
+	for _, delayNs := range []int64{0, 1_000, 5_000, 20_000, 100_000} {
+		t.Run(fmt.Sprintf("delay=%dns", delayNs), func(t *testing.T) {
+			cfg := model.Default()
+			cfg.Nodes = 8
+			cfg.FanoutArity = 2
+			tracer := &killTracer{kind: "barrier.release", node: 0, seq: 3}
+			opt := Options{Config: cfg, Mode: ModeFT, Pages: 16, Locks: 1, Body: phasedBody(rounds), Tracer: tracer}
+			cl, err := New(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.EnableAuditor(1)
+			tracer.cl = cl
+			if delayNs > 0 {
+				// Replace the synchronous kill with a delayed one so part
+				// of the tree broadcast drains first.
+				d := delayNs
+				tracer.kill = func() {
+					cl.Engine().At(d, func() { cl.KillNode(0) })
+				}
+			}
+			if err := cl.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !tracer.done {
+				t.Fatal("master never merged episode 3")
+			}
+			if !cl.Finished() {
+				t.Fatal("threads stranded after master death")
+			}
+			checkPhased(t, cl, rounds)
+			verifyReplicaInvariants(t, cl)
+		})
+	}
+}
+
+// TestDeltaCodecSameResultSmallerWire runs the counter workload with full
+// and delta vector-time encodings and checks the outcome is identical while
+// the delta run ships strictly fewer modeled wire bytes.
+func TestDeltaCodecSameResultSmallerWire(t *testing.T) {
+	const iters = 8
+	bytesFor := func(codec model.VTCodecMode) int64 {
+		cfg := model.Default()
+		cfg.Nodes = 8
+		cfg.VTCodec = codec
+		cl, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 8, Locks: 1, Body: counterBody(iters)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		checkCounter(t, cl, uint64(8*iters))
+		var sum int64
+		for i := range cl.nodes {
+			sum += cl.net.Endpoint(i).Stats().BytesSent
+		}
+		return sum
+	}
+	full := bytesFor(model.VTFull)
+	delta := bytesFor(model.VTDelta)
+	if delta >= full {
+		t.Fatalf("delta encoding did not shrink wire volume: full=%d delta=%d", full, delta)
+	}
+}
+
+// TestBoundedProbeDetection kills a node under probe-mode detection with a
+// rotating 2-neighbor window: detection must still confirm the death (the
+// rotation reaches every peer) and the run must recover and finish.
+func TestBoundedProbeDetection(t *testing.T) {
+	cfg := model.Default()
+	cfg.Nodes = 8
+	cfg.Detection = model.DetectProbe
+	cfg.ProbeNeighbors = 2
+	cl, err := New(Options{Config: cfg, Mode: ModeFT, Pages: 16, Locks: 1, Body: phasedBody(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Engine().At(1_000_000, func() { cl.KillNode(5) })
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Finished() {
+		t.Fatal("cluster never recovered with a bounded probe window")
+	}
+	if cl.ProtoStats().Recoveries == 0 {
+		t.Fatal("no recovery ran — the kill never happened?")
+	}
+	checkPhased(t, cl, 5)
+}

@@ -2,6 +2,7 @@ package svm
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"ftsvm/internal/checkpoint"
@@ -209,7 +210,11 @@ type node struct {
 	ep *vmmc.Endpoint
 	pt *pageTable
 
-	vt        proto.VectorTime
+	vt proto.VectorTime
+	// vtLink is the per-destination delta-codec context: the last vector
+	// shipped on each outgoing link (see wire.go). Lazily allocated, nil
+	// until the first delta-costed send; always nil under VTFull.
+	vtLink    []proto.VectorTime
 	intervals []proto.UpdateList // own committed update lists, index = interval-1
 	dirty     []int              // pages written in the current interval
 	commitSeq int64              // commitInterval pass counter (dirty-list dedup)
@@ -271,7 +276,9 @@ type node struct {
 	barArriving      bool          // a thread is mid release-and-arrive for this node
 	barGate          sim.Gate
 	barRelease       *barRelease
-	barSentIntervals int // own intervals already shipped in barrier arrivals
+	barSentIntervals int   // own intervals already shipped in barrier arrivals
+	barForwarded     int64 // highest episode relayed down the fan-out tree
+	probeRot         int   // bounded probe sweep: rotating ring-window offset
 
 	// Barrier state (master side).
 	masterArrivals map[int]map[int]*barArrive // epoch -> node -> arrival
@@ -318,6 +325,15 @@ func New(opt Options) (*Cluster, error) {
 	}
 	if cfg.Nodes < 2 {
 		return nil, fmt.Errorf("svm: need >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Nodes*cfg.ThreadsPerNode > math.MaxInt16 {
+		// Writer tags (page.writers) store thread ids as int16; a cluster
+		// with more threads than that would silently alias writer identity
+		// and corrupt the deferred-word bookkeeping. 32767 threads is far
+		// past any tier this simulator models, so refuse rather than widen
+		// the per-word tag array.
+		return nil, fmt.Errorf("svm: %d threads exceed the int16 writer-tag capacity (%d)",
+			cfg.Nodes*cfg.ThreadsPerNode, math.MaxInt16)
 	}
 	if opt.Mode == ModeFT && opt.LockAlgo == LockQueue {
 		return nil, fmt.Errorf("svm: the queue lock has no fault-tolerant variant (§4.3); use LockPolling with ModeFT")

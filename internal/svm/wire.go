@@ -1,0 +1,85 @@
+package svm
+
+import (
+	"ftsvm/internal/model"
+	"ftsvm/internal/proto"
+)
+
+// Per-link delta wire accounting for vector timestamps (model.VTDelta).
+//
+// The payloads on the simulated wire are Go pointers — sizes are modeled,
+// not marshaled — so the codec here is pure accounting: msgWire re-costs
+// each vector a message carries against the sender's per-destination link
+// context, exactly mirroring what proto.AppendDelta would emit (the real
+// codec is exercised by the proto fuzz harness). Soundness rests on two
+// vmmc properties: per-sender FIFO delivery (arrival times are clamped
+// monotone per sender) and NIC retransmission masking losses — together
+// they guarantee the receiver decodes every message on a link in send
+// order, so "last vector shipped on this link" is shared context. A
+// sender's death simply truncates its links; survivors never decode
+// another message from it.
+
+// wireMsg is any protocol message with a modeled flat wire size.
+type wireMsg interface{ wireBytes() int }
+
+// vtCarrier is a message whose flat size includes vecWire-encoded vector
+// timestamps that the delta codec can re-cost per link.
+type vtCarrier interface {
+	wireMsg
+	// vectorTimes returns the vectors the flat encoding charges vecWire
+	// for, in a fixed order (both link ends advance identically).
+	vectorTimes() []proto.VectorTime
+}
+
+func (m *fetchReq) vectorTimes() []proto.VectorTime        { return []proto.VectorTime{m.Need} }
+func (m *fetchReply) vectorTimes() []proto.VectorTime      { return []proto.VectorTime{m.Ver} }
+func (m *saveTSMsg) vectorTimes() []proto.VectorTime       { return []proto.VectorTime{m.TS, m.Snap.VT} }
+func (m *ckptMsg) vectorTimes() []proto.VectorTime         { return []proto.VectorTime{m.Snap.VT} }
+func (m *lockReadReply) vectorTimes() []proto.VectorTime   { return []proto.VectorTime{m.VT} }
+func (m *lockRelease) vectorTimes() []proto.VectorTime     { return []proto.VectorTime{m.VT} }
+func (m *nicTestSetReply) vectorTimes() []proto.VectorTime { return []proto.VectorTime{m.VT} }
+func (m *qlGrant) vectorTimes() []proto.VectorTime         { return []proto.VectorTime{m.VT} }
+func (m *barArrive) vectorTimes() []proto.VectorTime       { return []proto.VectorTime{m.VT} }
+func (m *barRelease) vectorTimes() []proto.VectorTime      { return []proto.VectorTime{m.VT} }
+func (m *savedReply) vectorTimes() []proto.VectorTime      { return []proto.VectorTime{m.TS} }
+
+// msgWire returns the modeled wire size of m as sent from this node to
+// dst. Under the full codec (the default) it is exactly m.wireBytes().
+// Under the delta codec every vector the message carries is re-costed
+// against the (this node, dst) link context, which advances to the sent
+// values — so the caller must invoke msgWire exactly once per message
+// actually handed to the NIC.
+func (n *node) msgWire(dst int, m wireMsg) int {
+	sz := m.wireBytes()
+	if n.cl.cfg.VTCodec != model.VTDelta || dst == n.id {
+		return sz
+	}
+	vc, ok := m.(vtCarrier)
+	if !ok {
+		return sz
+	}
+	for _, vt := range vc.vectorTimes() {
+		if vt == nil {
+			continue
+		}
+		sz += n.deltaWire(dst, vt) - vecWire(len(vt))
+	}
+	return sz
+}
+
+// deltaWire costs one vector against the link context to dst and advances
+// the context. The context starts at the zero vector — the shared initial
+// state of every node.
+func (n *node) deltaWire(dst int, vt proto.VectorTime) int {
+	if n.vtLink == nil {
+		n.vtLink = make([]proto.VectorTime, len(n.cl.nodes))
+	}
+	last := n.vtLink[dst]
+	if last == nil {
+		last = proto.NewVector(len(vt))
+		n.vtLink[dst] = last
+	}
+	sz := proto.DeltaWireBytes(last, vt)
+	copy(last, vt)
+	return sz
+}

@@ -103,6 +103,41 @@ func (ep *Endpoint) DetectRound(p *sim.Proc, dst int) bool {
 	return false
 }
 
+// RingWindow selects a bounded probe target set from ring: the k members
+// following self (exclusive) in ring order, starting rot positions past
+// self's successor. Callers advance rot by k per sweep, so consecutive
+// sweeps rotate the window around the whole ring and every member is
+// probed within ceil((len(ring)-1)/k) sweeps of any prober — bounding
+// per-sweep traffic to k probes without opening a missed-death window: a
+// dead member is reached by every prober's rotation, not just by a fixed
+// neighbor set whose waiters might never time out. The returned ids are
+// in rotation order; self is never included. k <= 0 or k >= len(ring)-1
+// returns every other member (the unbounded sweep).
+func RingWindow(ring []int, self, rot, k int) []int {
+	n := len(ring)
+	idx := -1
+	for i, id := range ring {
+		if id == self {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || n < 2 {
+		return nil
+	}
+	if k <= 0 || k >= n-1 {
+		k = n - 1
+	}
+	if rot < 0 {
+		rot = 0
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, ring[(idx+1+(rot+i)%(n-1))%n])
+	}
+	return out
+}
+
 // SuspicionNs returns the virtual time at which the probe detector's
 // current (or confirming) miss streak against dst began, or 0 if dst is
 // not under suspicion. For a confirmed-dead node this is the start of

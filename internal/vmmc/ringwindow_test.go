@@ -1,0 +1,47 @@
+package vmmc
+
+import "testing"
+
+// TestRingWindowCoverage checks the rotating window's load-bearing
+// property: advancing rot by k per sweep reaches every other ring member
+// within ceil((n-1)/k) sweeps, never includes self, and degenerates to the
+// full sweep for k <= 0 or k >= n-1.
+func TestRingWindowCoverage(t *testing.T) {
+	ring := []int{0, 2, 3, 5, 7, 8, 11}
+	n := len(ring)
+	for _, k := range []int{1, 2, 3} {
+		for _, self := range ring {
+			seen := map[int]bool{}
+			sweeps := (n - 1 + k - 1) / k
+			rot := 0
+			for s := 0; s < sweeps; s++ {
+				for _, id := range RingWindow(ring, self, rot, k) {
+					if id == self {
+						t.Fatalf("k=%d self=%d: window includes self", k, self)
+					}
+					seen[id] = true
+				}
+				rot += k
+			}
+			if len(seen) != n-1 {
+				t.Fatalf("k=%d self=%d: %d/%d members covered in %d sweeps", k, self, len(seen), n-1, sweeps)
+			}
+		}
+	}
+}
+
+func TestRingWindowDegenerate(t *testing.T) {
+	ring := []int{4, 6, 9}
+	if got := RingWindow(ring, 6, 0, 0); len(got) != 2 {
+		t.Fatalf("k=0 should probe all others, got %v", got)
+	}
+	if got := RingWindow(ring, 6, 0, 10); len(got) != 2 {
+		t.Fatalf("k>n-1 should probe all others, got %v", got)
+	}
+	if got := RingWindow(ring, 1, 0, 1); got != nil {
+		t.Fatalf("self not in ring should yield nil, got %v", got)
+	}
+	if got := RingWindow([]int{3}, 3, 0, 1); got != nil {
+		t.Fatalf("singleton ring should yield nil, got %v", got)
+	}
+}
