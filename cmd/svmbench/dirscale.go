@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
+	"ftsvm/internal/svm"
+)
+
+// The directory benchmark: flat-vs-hashed home directories across the
+// tier node counts, healthy and through a mid-run failure. The healthy
+// rows demonstrate the placement guarantee (identical virtual metrics —
+// the hashed directory puts every item exactly where the flat map
+// does), the kill rows record what the hashed directory buys and costs
+// at each scale: directory resident bytes, rehoming wall time
+// (O(items-on-failed) vs the flat map's full-table rewrite), and the
+// virtual recovery window. Every cell runs the full tier preset for its
+// node count so the two directory columns isolate exactly the
+// directory.
+
+// dirCell is one directory-scaling measurement.
+type dirCell struct {
+	App   string `json:"app"`
+	Nodes int    `json:"nodes"`
+	// Dir is "flat" or "hashed".
+	Dir string `json:"dir"`
+	// Kill is true for the mid-run-failure row of the pair.
+	Kill      bool    `json:"kill"`
+	VirtualMs float64 `json:"vms"`
+	Msgs      int64   `json:"msgs"`
+	Bytes     int64   `json:"bytes"`
+	// DirBytes is the resident directory footprint (pages + locks) at
+	// the end of the run — deterministic, part of the compare gate.
+	DirBytes int64 `json:"dir_bytes"`
+	// RecoverMs is the virtual time from the kill to recovery.done
+	// (zero on healthy rows).
+	RecoverMs float64 `json:"recover_ms"`
+	// RehomeWallUs is host wall time spent inside Directory.Rehome
+	// during recovery — the measured O(affected) claim. Host-dependent:
+	// reported, never gated.
+	RehomeWallUs float64 `json:"rehome_wall_us"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+// dirReport is the artifact written by -dirscale and replayed by
+// -dirscalecompare (BENCH_PR9.json).
+type dirReport struct {
+	Size        string    `json:"size"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	TotalWallMs float64   `json:"total_wall_ms"`
+	Cells       []dirCell `json:"cells"`
+}
+
+// dirTierFor maps a node count to its scale preset. Unlike the scaling
+// grid's flat-vs-tree split, every directory cell gets the full tier —
+// both directory columns run the same topology, vector-time codec, and
+// lock backoff, so the columns differ only in the directory.
+func dirTierFor(nodes int) harness.Tier {
+	switch nodes {
+	case 64:
+		return harness.TierLarge
+	case 256:
+		return harness.TierHuge
+	case 512:
+		return harness.TierXLarge
+	}
+	return harness.TierPaper
+}
+
+// dirCellConfig builds the harness cell for one directory measurement.
+// The directory mode is forced through Overrides after the tier preset,
+// so a flat 512-node cell overrides the xlarge tier's hashed default
+// and a hashed 8-node cell upgrades the paper tier.
+func dirCellConfig(app string, sz harness.Size, nodes int, dir model.DirectoryMode, kill bool) harness.Config {
+	c := harness.Config{
+		App: app, Size: sz, Mode: svm.ModeFT, ThreadsPerNode: 1,
+		Tier:      dirTierFor(nodes),
+		Overrides: func(cfg *model.Config) { cfg.Directory = dir },
+	}
+	if kill {
+		c.KillKind, c.KillVictim, c.KillSeq = "release.done", nodes/2, 2
+	}
+	return c
+}
+
+// dirGrid is the directory sweep: micro workloads, FT protocol, four
+// cluster sizes, flat vs hashed, healthy and killed.
+func dirGrid(sz harness.Size) []harness.Config {
+	var cells []harness.Config
+	for _, app := range []string{"counter", "falseshare"} {
+		for _, nodes := range []int{8, 64, 256, 512} {
+			for _, kill := range []bool{false, true} {
+				cells = append(cells, dirCellConfig(app, sz, nodes, model.DirFlat, kill))
+				cells = append(cells, dirCellConfig(app, sz, nodes, model.DirHashed, kill))
+			}
+		}
+	}
+	return cells
+}
+
+func dirCellOf(c harness.Config, r harness.Result) dirCell {
+	cell := dirCell{
+		App:          c.App,
+		Nodes:        0,
+		Dir:          "flat",
+		Kill:         c.KillKind != "",
+		VirtualMs:    float64(r.ExecNs) / 1e6,
+		Msgs:         r.MsgsSent,
+		Bytes:        r.BytesSent,
+		DirBytes:     r.DirBytes,
+		RehomeWallUs: float64(r.RehomeWallNs) / 1e3,
+		WallMs:       float64(r.WallNs) / 1e6,
+	}
+	cfg, _ := c.ModelConfig()
+	cell.Nodes = cfg.Nodes
+	cell.Dir = cfg.Directory.String()
+	if r.Phase.KillNs > 0 && r.Phase.RecoverNs > 0 {
+		cell.RecoverMs = float64(r.Phase.RecoverNs-r.Phase.KillNs) / 1e6
+	}
+	return cell
+}
+
+// runDirScaleJSON runs the directory grid and writes the report.
+func runDirScaleJSON(path string, sz harness.Size) error {
+	cells := dirGrid(sz)
+	start := time.Now()
+	results := harness.RunGrid(cells)
+	wall := time.Since(start)
+	rep := dirReport{
+		Size:        string(sz),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		TotalWallMs: float64(wall) / 1e6,
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			cell := dirCellOf(cells[i], r)
+			return fmt.Errorf("%s n=%d %s kill=%v: %w", cell.App, cell.Nodes, cell.Dir, cell.Kill, r.Err)
+		}
+		rep.Cells = append(rep.Cells, dirCellOf(cells[i], r))
+	}
+	if err := dirCheckIdentity(rep); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	printDirTable(rep)
+	fmt.Printf("wrote %s: %d cells, total wall %.1f ms\n", path, len(rep.Cells), rep.TotalWallMs)
+	return nil
+}
+
+// dirCheckIdentity asserts the healthy flat/hashed pairs are
+// bit-identical in every virtual metric — the placement guarantee the
+// paper-grid BENCH gates rest on, checked at every node count before
+// the report is written.
+func dirCheckIdentity(rep dirReport) error {
+	type key struct {
+		app   string
+		nodes int
+	}
+	flat := map[key]dirCell{}
+	for _, c := range rep.Cells {
+		if c.Kill {
+			continue
+		}
+		k := key{c.App, c.Nodes}
+		if c.Dir == "flat" {
+			flat[k] = c
+			continue
+		}
+		f, ok := flat[k]
+		if !ok {
+			return fmt.Errorf("dirscale: hashed healthy cell %v has no flat twin", k)
+		}
+		if f.VirtualMs != c.VirtualMs || f.Msgs != c.Msgs || f.Bytes != c.Bytes {
+			return fmt.Errorf("dirscale: %s n=%d healthy runs differ: flat (%.3f vms, %d msgs, %d bytes) vs hashed (%.3f vms, %d msgs, %d bytes)",
+				c.App, c.Nodes, f.VirtualMs, f.Msgs, f.Bytes, c.VirtualMs, c.Msgs, c.Bytes)
+		}
+	}
+	return nil
+}
+
+func printDirTable(rep dirReport) {
+	fmt.Printf("Directory grid (size=%s): flat vs hashed home directories\n", rep.Size)
+	fmt.Printf("%-12s %6s %-7s %-5s %12s %12s %10s %11s %13s %9s\n",
+		"app", "nodes", "dir", "kill", "vms", "msgs", "dir bytes", "recover ms", "rehome us", "wall ms")
+	for _, c := range rep.Cells {
+		fmt.Printf("%-12s %6d %-7s %-5v %12.1f %12d %10d %11.2f %13.1f %9.1f\n",
+			c.App, c.Nodes, c.Dir, c.Kill, c.VirtualMs, c.Msgs, c.DirBytes, c.RecoverMs, c.RehomeWallUs, c.WallMs)
+	}
+}
+
+// runDirScaleCompare re-runs the grid recorded in oldPath and fails on
+// any drift in the deterministic fields (virtual metrics and directory
+// bytes) — the repeat-run bit-identity gate for BENCH_PR9. Wall-clock
+// fields (wall_ms, rehome_wall_us) are host-dependent and not gated.
+func runDirScaleCompare(oldPath string) error {
+	blob, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old dirReport
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	cells := make([]harness.Config, len(old.Cells))
+	for i, c := range old.Cells {
+		dir, err := model.ParseDirectory(c.Dir)
+		if err != nil {
+			return fmt.Errorf("%s cell %d: %w", oldPath, i, err)
+		}
+		cells[i] = dirCellConfig(c.App, harness.Size(old.Size), c.Nodes, dir, c.Kill)
+	}
+	start := time.Now()
+	results := harness.RunGrid(cells)
+	wall := time.Since(start)
+	fmt.Printf("Directory comparison vs %s (size=%s)\n", oldPath, old.Size)
+	drift := 0
+	for i, r := range results {
+		o := old.Cells[i]
+		if r.Err != nil {
+			fmt.Printf("%-12s %6d %-7s kill=%-5v ERROR: %v\n", o.App, o.Nodes, o.Dir, o.Kill, r.Err)
+			drift++
+			continue
+		}
+		n := dirCellOf(cells[i], r)
+		dvms := n.VirtualMs - o.VirtualMs
+		dmsgs := n.Msgs - o.Msgs
+		dbytes := n.Bytes - o.Bytes
+		ddir := n.DirBytes - o.DirBytes
+		drec := n.RecoverMs - o.RecoverMs
+		if dvms != 0 || dmsgs != 0 || dbytes != 0 || ddir != 0 || drec != 0 {
+			drift++
+		}
+		fmt.Printf("%-12s %6d %-7s kill=%-5v %+10.3f vms %+8d msgs %+10d bytes %+8d dir %+8.3f rec\n",
+			o.App, o.Nodes, o.Dir, o.Kill, dvms, dmsgs, dbytes, ddir, drec)
+	}
+	fmt.Printf("total wall: %.1f ms old, %.1f ms new\n", old.TotalWallMs, float64(wall)/1e6)
+	if drift != 0 {
+		return fmt.Errorf("%d cell(s) changed deterministic metrics — directory behavior drifted", drift)
+	}
+	fmt.Println("deterministic metrics identical in every cell")
+	return nil
+}

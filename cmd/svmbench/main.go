@@ -51,6 +51,8 @@ func main() {
 	sweep := flag.String("sweep", "", "with -json: also time a full failure-point sweep of these apps (comma-separated) at each -workers count")
 	scaleOut := flag.String("scale", "", "run the 8/64/256-node scaling grid (flat vs tree+delta tiers) and write a report to this file")
 	scaleCompare := flag.String("scalecompare", "", "re-run the scaling grid recorded in this report and fail on any virtual-metric drift")
+	dirScaleOut := flag.String("dirscale", "", "run the 8-512-node flat-vs-hashed directory grid (healthy + mid-run kill) and write a report to this file")
+	dirScaleCompare := flag.String("dirscalecompare", "", "re-run the directory grid recorded in this report and fail on any deterministic-metric drift")
 	flag.Parse()
 
 	sz := harness.Size(*size)
@@ -106,6 +108,20 @@ func main() {
 	}
 	if *scaleCompare != "" {
 		if err := runScaleCompare(*scaleCompare); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dirScaleOut != "" {
+		if err := runDirScaleJSON(*dirScaleOut, sz); err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dirScaleCompare != "" {
+		if err := runDirScaleCompare(*dirScaleCompare); err != nil {
 			fmt.Fprintf(os.Stderr, "svmbench: %v\n", err)
 			os.Exit(1)
 		}

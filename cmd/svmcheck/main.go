@@ -62,7 +62,7 @@ func main() {
 	app := flag.String("app", "waternsq", "application (see svmrun -list)")
 	size := flag.String("size", "small", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
-	tierFlag := flag.String("tier", "", "scale tier preset: paper, large (64 nodes), huge (256 nodes); overrides -nodes")
+	tierFlag := flag.String("tier", "", "scale tier preset: paper, large (64 nodes), huge (256 nodes), xlarge (512 nodes, hashed directory); overrides -nodes")
 	tpn := flag.Int("threads", 1, "threads per node")
 	lock := flag.String("lock", "polling", "lock algorithm: polling, nic")
 	detect := flag.String("detect", "probe", "failure detection: probe (honest probe/ack traffic), oracle")

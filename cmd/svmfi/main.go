@@ -42,7 +42,7 @@ func main() {
 	appsFlag := flag.String("app", "counter,falseshare", "comma-separated applications to sweep")
 	size := flag.String("size", "small", "problem size: small, medium, paper")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
-	tierFlag := flag.String("tier", "", "scale tier preset: paper, large (64 nodes), huge (256 nodes); overrides -nodes")
+	tierFlag := flag.String("tier", "", "scale tier preset: paper, large (64 nodes), huge (256 nodes), xlarge (512 nodes, hashed directory); overrides -nodes")
 	threads := flag.Int("threads", 1, "compute threads per node")
 	lock := flag.String("lock", "polling", "lock algorithm: polling (the queue lock has no FT variant)")
 	detect := flag.String("detect", "oracle", "failure detection: oracle, probe")

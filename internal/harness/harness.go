@@ -123,6 +123,12 @@ const (
 	// delta vector times, 3-neighbor rotating probes, and a lock backoff
 	// window widened for 256-way contention.
 	TierHuge Tier = "huge"
+	// TierXLarge is a 512-node cluster: the huge tier's knobs (arity-8
+	// tree, now depth 4; delta vector times; rotating probes; scaled
+	// backoff) plus the consistent-hashed home directory — at this size
+	// the flat directory's full-scan rehoming and fully materialized
+	// home arrays are the dominant recovery-path cost.
+	TierXLarge Tier = "xlarge"
 )
 
 // ParseTier maps a flag string to a Tier.
@@ -134,8 +140,10 @@ func ParseTier(s string) (Tier, error) {
 		return TierLarge, nil
 	case "huge":
 		return TierHuge, nil
+	case "xlarge":
+		return TierXLarge, nil
 	}
-	return TierPaper, fmt.Errorf("harness: unknown tier %q (want paper, large, or huge)", s)
+	return TierPaper, fmt.Errorf("harness: unknown tier %q (want paper, large, huge, or xlarge)", s)
 }
 
 // Apply sets the tier's cluster shape and scale-out knobs on cfg. A cell
@@ -156,6 +164,13 @@ func (t Tier) Apply(cfg *model.Config) error {
 		cfg.VTCodec = model.VTDelta
 		cfg.ProbeNeighbors = 3
 		cfg.LockBackoffMaxNs = ScaledLockBackoffMaxNs(256)
+	case TierXLarge:
+		cfg.Nodes = 512
+		cfg.FanoutArity = 8
+		cfg.VTCodec = model.VTDelta
+		cfg.ProbeNeighbors = 3
+		cfg.LockBackoffMaxNs = ScaledLockBackoffMaxNs(512)
+		cfg.Directory = model.DirHashed
 	default:
 		return fmt.Errorf("harness: unknown tier %q", string(t))
 	}
@@ -214,6 +229,13 @@ type Config struct {
 	// (the default), > 1 the conservative parallel engine with that many
 	// lane workers. Virtual metrics are bit-identical either way.
 	Workers int
+	// KillKind, when non-empty, injects a node failure: KillVictim is
+	// fail-stopped the KillSeq'th time it emits this trace-event kind
+	// (e.g. "release.done"; 0 matches the first occurrence). Requires
+	// Mode == svm.ModeFT; tracer-driven cells always run serially.
+	KillKind   string
+	KillVictim int
+	KillSeq    int64
 }
 
 // Result is one experiment outcome.
@@ -235,6 +257,15 @@ type Result struct {
 	// WallNs is the host wall-clock time the simulation took (a simulator
 	// performance metric; everything else above is virtual).
 	WallNs int64
+	// DirBytes is the resident footprint of the page + lock home
+	// directories at the end of the run.
+	DirBytes int64
+	// RehomeWallNs is the host wall time spent inside directory Rehome
+	// calls (zero when no failure was injected).
+	RehomeWallNs int64
+	// Phase holds the failure-lifecycle milestones (virtual times; zero
+	// fields when no failure happened).
+	Phase svm.PhaseTimes
 	// EngineWorkers is the number of engine workers the run actually used
 	// (1 when Config.Workers <= 1 or the run fell back to serial);
 	// SerialFallback is the reason for a fallback, "" otherwise.
@@ -329,7 +360,7 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 	if err != nil {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}
 	}
-	cl, err := svm.New(svm.Options{
+	opt := svm.Options{
 		Config:            cfg,
 		Mode:              c.Mode,
 		LockAlgo:          c.LockAlgo,
@@ -341,9 +372,18 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 		UnsafeSinglePhase: c.UnsafeSinglePhase,
 		FullTwins:         c.FullTwins,
 		Workers:           c.Workers,
-	})
+	}
+	var kt *killTracer
+	if c.KillKind != "" {
+		kt = &killTracer{kind: c.KillKind, node: c.KillVictim, seq: c.KillSeq}
+		opt.Tracer = kt
+	}
+	cl, err := svm.New(opt)
 	if err != nil {
 		return Result{Config: c, Err: err}, svm.ProtoStats{}
+	}
+	if kt != nil {
+		kt.cl = cl
 	}
 	if c.AuditStride > 0 {
 		cl.EnableAuditor(c.AuditStride)
@@ -372,7 +412,32 @@ func runCell(c Config) (Result, svm.ProtoStats) {
 	}
 	r.Checkpoints = cl.CheckpointCount()
 	r.Metrics = cl.Metrics()
+	r.DirBytes = cl.DirectoryBytes()
+	r.RehomeWallNs = cl.RehomeWallNs()
+	r.Phase = cl.PhaseTimes()
 	return r, cl.ProtoStats()
+}
+
+// killTracer fail-stops a node the seq'th time it emits the configured
+// trace-event kind (seq 0: the first occurrence) — the harness-level
+// form of the failure injection the svm tests and svmfi drive directly.
+type killTracer struct {
+	cl   *svm.Cluster
+	kind string
+	node int
+	seq  int64
+	done bool
+}
+
+func (k *killTracer) Event(e svm.TraceEvent) {
+	if k.done || e.Kind != k.kind || e.Node != k.node {
+		return
+	}
+	if k.seq != 0 && e.Seq != k.seq {
+		return
+	}
+	k.done = true
+	k.cl.KillNode(k.node)
 }
 
 // RunPair runs a base/extended pair for one app and configuration, using

@@ -10,6 +10,7 @@ import (
 func TestParseTier(t *testing.T) {
 	for s, want := range map[string]Tier{
 		"": TierPaper, "paper": TierPaper, "large": TierLarge, "huge": TierHuge,
+		"xlarge": TierXLarge,
 	} {
 		got, err := ParseTier(s)
 		if err != nil || got != want {
@@ -34,6 +35,7 @@ func TestTierApply(t *testing.T) {
 	}{
 		{TierLarge, 64, 4, 3},
 		{TierHuge, 256, 8, 3},
+		{TierXLarge, 512, 8, 3},
 	}
 	for _, c := range cases {
 		cfg := model.Default()
@@ -48,6 +50,13 @@ func TestTierApply(t *testing.T) {
 		}
 		if want := ScaledLockBackoffMaxNs(c.nodes); cfg.LockBackoffMaxNs != want {
 			t.Fatalf("%s: lock backoff %d, want %d", c.tier, cfg.LockBackoffMaxNs, want)
+		}
+		wantDir := model.DirFlat
+		if c.tier == TierXLarge {
+			wantDir = model.DirHashed
+		}
+		if cfg.Directory != wantDir {
+			t.Fatalf("%s: directory %v, want %v", c.tier, cfg.Directory, wantDir)
 		}
 	}
 	cfg := model.Default()
@@ -80,6 +89,43 @@ func TestLargeTierMicroWorkloads(t *testing.T) {
 	for i, r := range RunGrid(cells) {
 		if r.Err != nil {
 			t.Errorf("%s/%s large tier: %v", cells[i].App, cells[i].Mode, r.Err)
+		}
+	}
+}
+
+// TestXLargeTierMicroWorkloads is the 512-node smoke: both micro
+// workloads under the full xlarge preset (arity-8 tree, delta vector
+// times, hashed home directory), held to the strided online auditor.
+// FT-mode cells also take a mid-run failure, exercising the hashed
+// rehoming path (override table + reverse-index walk) at full tier
+// scale. The stride is sized for the schedule, not the node count: the
+// 512-way polling lock emits tens of millions of probe events, and each
+// sweep is O(nodes x pages) = 512 x 512, so a 64K stride keeps the
+// audit at a few hundred sweeps instead of dominating the cell.
+func TestXLargeTierMicroWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-node cells take seconds each")
+	}
+	var cells []Config
+	for _, app := range []string{"counter", "falseshare"} {
+		for _, mode := range []svm.Mode{svm.ModeBase, svm.ModeFT} {
+			c := Config{
+				App: app, Size: SizeSmall, Mode: mode,
+				Tier: TierXLarge, ThreadsPerNode: 1, AuditStride: 1 << 16,
+			}
+			if mode == svm.ModeFT {
+				c.KillKind, c.KillVictim, c.KillSeq = "release.done", 256, 2
+			}
+			cells = append(cells, c)
+		}
+	}
+	for i, r := range RunGrid(cells) {
+		if r.Err != nil {
+			t.Errorf("%s/%s xlarge tier: %v", cells[i].App, cells[i].Mode, r.Err)
+			continue
+		}
+		if cells[i].KillKind != "" && r.Phase.KillNs == 0 {
+			t.Errorf("%s/%s xlarge tier: kill never fired", cells[i].App, cells[i].Mode)
 		}
 	}
 }

@@ -75,6 +75,11 @@ type Config struct {
 	// per-link delta encoding that ships only entries changed since the
 	// last message on that sender->receiver link).
 	VTCodec VTCodecMode
+	// Directory selects the home-directory implementation (DirFlat, the
+	// default, is the paper's fully materialized per-item map; DirHashed
+	// computes placement from application-locality pins plus a compact
+	// override table and rehomes in O(items-on-failed + log N)).
+	Directory DirectoryMode
 
 	// Retransmission. 0 means derived per message: 4*LinkLatencyNs plus
 	// twice the serialization time (size * BandwidthNsPerByte), so a lost
@@ -162,6 +167,44 @@ func ParseVTCodec(s string) (VTCodecMode, error) {
 		return VTDelta, nil
 	}
 	return 0, fmt.Errorf("model: unknown vector-time codec %q (want full or delta)", s)
+}
+
+// DirectoryMode selects the home-directory implementation.
+type DirectoryMode int
+
+const (
+	// DirFlat is the paper's flat home map: two materialized per-item
+	// home arrays, rehoming by full scan. The seed behavior and the
+	// default on every paper-grid tier (keeps the figure grid
+	// bit-identical).
+	DirFlat DirectoryMode = iota
+	// DirHashed is the consistent-hashed directory for the large tiers:
+	// placement computed from application-locality pins, only rehomed
+	// items stored (epoch-tagged per-shard overrides), and a per-node
+	// reverse index so rehoming walks only the failed node's items.
+	DirHashed
+)
+
+// String returns the flag spelling of the directory mode.
+func (m DirectoryMode) String() string {
+	switch m {
+	case DirFlat:
+		return "flat"
+	case DirHashed:
+		return "hashed"
+	}
+	return fmt.Sprintf("DirectoryMode(%d)", int(m))
+}
+
+// ParseDirectory parses a -dir flag value.
+func ParseDirectory(s string) (DirectoryMode, error) {
+	switch s {
+	case "flat":
+		return DirFlat, nil
+	case "hashed":
+		return DirHashed, nil
+	}
+	return 0, fmt.Errorf("model: unknown directory mode %q (want flat or hashed)", s)
 }
 
 // Chaos configures the deterministic per-link fault layer of the simulated
@@ -355,6 +398,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: FanoutArity = %d, need 0 (flat) or >= 2", c.FanoutArity)
 	case c.VTCodec != VTFull && c.VTCodec != VTDelta:
 		return fmt.Errorf("model: unknown VTCodec mode %d", int(c.VTCodec))
+	case c.Directory != DirFlat && c.Directory != DirHashed:
+		return fmt.Errorf("model: unknown Directory mode %d", int(c.Directory))
 	case c.ProbeNeighbors < 0:
 		return fmt.Errorf("model: ProbeNeighbors = %d, need >= 0 (0: probe all)", c.ProbeNeighbors)
 	}

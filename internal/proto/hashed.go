@@ -1,0 +1,348 @@
+package proto
+
+import (
+	"fmt"
+	"slices"
+)
+
+// HashedDir is the consistent-hashed home directory for the large
+// tiers. The flat HomeMap materializes every item's two homes and
+// rehomes by full scan — fine at the paper's 8 nodes, the dominant
+// recovery-path and memory cost at 256+ nodes. HashedDir instead:
+//
+//   - computes placement: an item's primary is its application-locality
+//     pin (the HomeAssign node the paper lets applications choose), its
+//     secondary the pin's ring neighbor — exactly the flat directory's
+//     initial layout, so healthy paper-grid runs are bit-identical
+//     under either directory;
+//   - stores only exceptions: when a node fails, the items it homed get
+//     epoch-tagged overrides in a compact per-shard table. Overrides
+//     are sticky — placement computed at epoch e stays fixed until one
+//     of its own homes fails — because a placement recomputed from
+//     scratch over live membership would silently migrate items whose
+//     homes never failed, moving data the recovery protocol never
+//     copied (that is why rehoming survival needs the overrides, and
+//     the epoch tag is what lets a survivor applying delta messages
+//     discard stale ones);
+//   - picks rehoming targets on a hashed ring of live nodes (the
+//     binary-search form of rendezvous selection: each item's
+//     preference order is the successor order of its hash point), so a
+//     failed node's items scatter over all survivors instead of piling
+//     onto the ring successor the way the flat directory's rule does;
+//   - maintains a per-node reverse index — postings of the items homed
+//     on each node — so Rehome(failed) walks only the failed node's
+//     items: O(items-on-failed + log N) against the flat scan's
+//     O(items).
+//
+// Lookups are O(1): a direct-mapped, epoch-invalidated cache in front
+// of (override-shard probe, else pin arithmetic). The cache is a plain
+// in-place fill, so the cluster disables it when node lanes execute
+// concurrently (the parallel engine); lookups stay O(1) without it.
+type HashedDir struct {
+	nodes  int
+	alive  []bool
+	nAlive int
+	epoch  int
+	seed   uint64
+
+	// pins holds each item's application-locality seed: the HomeAssign
+	// primary. int32 — half the footprint of the flat directory's
+	// per-item NodeID pair.
+	pins []int32
+
+	// shards is the override table: item -> current homes, for rehomed
+	// items only. Sharded by the item's low bits to keep each map small
+	// (and its growth incremental) on big failures.
+	shards [dirShards]map[int32]dirOverride
+
+	// post is the reverse index: post[n] lists the items with a home on
+	// node n. Postings are exact — a home moves only when its node
+	// fails, and a failed node's whole posting list is dropped — so no
+	// tombstone filtering is ever needed on the walk.
+	post [][]int32
+
+	// ring is the consistent-hash ring: ringPointsPerNode virtual points
+	// per node, hashed and sorted once at construction. Each point packs
+	// 48 hash bits over 16 node-id bits into one uint64, so the ring
+	// costs 8 bytes per point and sorts as plain integers. Dead nodes'
+	// points stay on the ring and pick skips them — rebuilding (and
+	// re-sorting) per failure would put an O(N log N) term with a big
+	// constant in front of every Rehome.
+	ring []uint64
+
+	// Direct-mapped lookup cache. An entry is valid only when its cKey
+	// matches the item and its cEp matches the current epoch — tagging
+	// entries with the epoch invalidates the whole cache on a Rehome
+	// without wiping it. Disabled under concurrent readers.
+	cacheOn bool
+	cKey    []int32
+	cEp     []int32
+	cPrim   []int32
+	cSec    []int32
+}
+
+const (
+	dirShardBits = 4
+	dirShards    = 1 << dirShardBits
+
+	// dirCacheSize bounds the lookup cache (direct-mapped entries); it
+	// is deliberately small — the point is covering the hot working set
+	// after a failure populates the override shards, not mirroring the
+	// flat directory's full materialization.
+	dirCacheSize = 1024
+
+	// ringPointsPerNode is the virtual-point count per live node. Eight
+	// points keep the post-failure spread within ~2x of uniform at the
+	// tier sizes while the ring stays small enough to rebuild per epoch.
+	ringPointsPerNode = 8
+)
+
+// dirOverride records a rehomed item's current homes and the epoch that
+// placed them there.
+type dirOverride struct {
+	prim, sec int32
+	epoch     int32
+}
+
+// ringNodeBits is the node-id field width of a packed ring point: the
+// low 16 bits hold the node, the high 48 the hash. Distinct points can
+// never compare equal (the node id is part of the integer), so the
+// sorted ring is deterministic without a tie-break rule.
+const ringNodeBits = 16
+
+// splitmix64 is the 64-bit finalizer used for every directory hash:
+// deterministic, seedable, and strong enough that ring points collide
+// with negligible probability.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NewHashedDir builds a hashed directory for items items over nodes
+// nodes. assign gives each item's primary pin (the application's
+// locality choice, as in NewHomeMap); seed perturbs the ring hashes so
+// distinct directories (pages vs locks) scatter independently.
+func NewHashedDir(items, nodes int, seed int64, assign func(item int) NodeID) *HashedDir {
+	if nodes < 2 {
+		panic("proto: HashedDir needs at least 2 nodes for replication")
+	}
+	if nodes >= 1<<ringNodeBits {
+		panic(fmt.Sprintf("proto: HashedDir supports at most %d nodes (packed ring points)", 1<<ringNodeBits-1))
+	}
+	d := &HashedDir{
+		nodes:   nodes,
+		alive:   make([]bool, nodes),
+		nAlive:  nodes,
+		seed:    splitmix64(uint64(seed) ^ 0xD1B54A32D192ED03),
+		pins:    make([]int32, items),
+		post:    make([][]int32, nodes),
+		cacheOn: true,
+		cKey:    make([]int32, dirCacheSize),
+		cEp:     make([]int32, dirCacheSize),
+		cPrim:   make([]int32, dirCacheSize),
+		cSec:    make([]int32, dirCacheSize),
+	}
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	for i := range d.cKey {
+		d.cKey[i] = -1
+	}
+	d.buildRing()
+	for s := range d.shards {
+		d.shards[s] = make(map[int32]dirOverride)
+	}
+	for i := 0; i < items; i++ {
+		p := assign(i)
+		if p < 0 || p >= nodes {
+			panic(fmt.Sprintf("proto: assign(%d) = %d out of range", i, p))
+		}
+		d.pins[i] = int32(p)
+		sec := (p + 1) % nodes
+		d.post[p] = append(d.post[p], int32(i))
+		d.post[sec] = append(d.post[sec], int32(i))
+	}
+	return d
+}
+
+// Items returns the number of items managed by the directory.
+func (d *HashedDir) Items() int { return len(d.pins) }
+
+// Alive reports whether the directory still considers node live.
+func (d *HashedDir) Alive(n NodeID) bool { return d.alive[n] }
+
+// AliveCount returns the number of live nodes.
+func (d *HashedDir) AliveCount() int { return d.nAlive }
+
+// Epoch returns the number of completed Rehome calls.
+func (d *HashedDir) Epoch() int { return d.epoch }
+
+// DisableCache turns the lookup cache off for the rest of the
+// directory's life. The cluster calls this when node lanes read the
+// directory concurrently (the parallel engine): a cache fill is an
+// in-place write, and lookups are O(1) without it.
+func (d *HashedDir) DisableCache() { d.cacheOn = false }
+
+// resolve returns the item's current homes: the override if one exists,
+// else the computed pin placement. It never consults liveness — the
+// directory's assignment changes only through Rehome, exactly like the
+// flat map's arrays.
+func (d *HashedDir) resolve(item int) (p, s int32) {
+	if ov, ok := d.shards[item&(dirShards-1)][int32(item)]; ok {
+		return ov.prim, ov.sec
+	}
+	p = d.pins[item]
+	s = p + 1
+	if int(s) == d.nodes {
+		s = 0
+	}
+	return p, s
+}
+
+// lookup resolves through the direct-mapped cache when it is enabled.
+func (d *HashedDir) lookup(item int) (int32, int32) {
+	if !d.cacheOn {
+		return d.resolve(item)
+	}
+	k := item & (dirCacheSize - 1)
+	if d.cKey[k] == int32(item) && d.cEp[k] == int32(d.epoch) {
+		return d.cPrim[k], d.cSec[k]
+	}
+	p, s := d.resolve(item)
+	d.cKey[k] = int32(item)
+	d.cEp[k] = int32(d.epoch)
+	d.cPrim[k] = p
+	d.cSec[k] = s
+	return p, s
+}
+
+// Primary returns the item's current primary home.
+func (d *HashedDir) Primary(item int) NodeID {
+	p, _ := d.lookup(item)
+	return NodeID(p)
+}
+
+// Secondary returns the item's current secondary home.
+func (d *HashedDir) Secondary(item int) NodeID {
+	_, s := d.lookup(item)
+	return NodeID(s)
+}
+
+// MemoryBytes returns the approximate resident footprint: pins,
+// postings, override entries, ring, and cache.
+func (d *HashedDir) MemoryBytes() int64 {
+	b := int64(len(d.pins)) * 4
+	for _, pl := range d.post {
+		b += int64(cap(pl))*4 + 24
+	}
+	for s := range d.shards {
+		// Map entry: 12 bytes of payload plus ~2x bucket overhead.
+		b += int64(len(d.shards[s])) * 36
+	}
+	b += int64(cap(d.ring)) * 8
+	b += int64(len(d.alive))
+	if d.cacheOn {
+		b += int64(len(d.cKey)+len(d.cEp)+len(d.cPrim)+len(d.cSec)) * 4
+	}
+	return b
+}
+
+// buildRing computes the consistent-hash ring: ringPointsPerNode packed
+// points per node, sorted as plain integers. Run once at construction;
+// liveness is checked at pick time.
+func (d *HashedDir) buildRing() {
+	pts := make([]uint64, 0, d.nodes*ringPointsPerNode)
+	for n := 0; n < d.nodes; n++ {
+		for v := 0; v < ringPointsPerNode; v++ {
+			h := splitmix64(d.seed ^ uint64(n)<<20 ^ uint64(v))
+			pts = append(pts, h&^(1<<ringNodeBits-1)|uint64(n))
+		}
+	}
+	slices.Sort(pts)
+	d.ring = pts
+}
+
+// pick returns the live node owning the ring successor of item's hash
+// point, skipping dead nodes' points and points of exclude: O(log N)
+// search plus a walk whose expected length is the dead fraction of the
+// ring — short until most of the cluster has failed, and the directory
+// refuses to operate below 2 live nodes anyway.
+func (d *HashedDir) pick(item int, exclude int32) int32 {
+	h := splitmix64(d.seed^uint64(item)*0x9E3779B97F4A7C15) &^ (1<<ringNodeBits - 1)
+	i, _ := slices.BinarySearch(d.ring, h)
+	for off := 0; off < len(d.ring); off++ {
+		n := int32(d.ring[(i+off)%len(d.ring)] & (1<<ringNodeBits - 1))
+		if n != exclude && d.alive[n] {
+			return n
+		}
+	}
+	panic("proto: hash ring has no live node besides the excluded one")
+}
+
+// setOverride records the item's new homes at the current epoch.
+func (d *HashedDir) setOverride(item, prim, sec int32) {
+	d.shards[int(item)&(dirShards-1)][item] = dirOverride{prim: prim, sec: sec, epoch: int32(d.epoch)}
+}
+
+// Rehome marks failed as dead and reassigns exactly the home roles it
+// held, walking the failed node's reverse-index postings instead of
+// scanning every item. Promotions follow the paper's rule — the
+// surviving secondary becomes primary in place (it holds the tentative
+// copy) — and fresh secondaries come off the hash ring, so the failed
+// node's load scatters across the survivors.
+func (d *HashedDir) Rehome(failed NodeID) []Reassignment {
+	if !d.alive[failed] {
+		return nil
+	}
+	d.alive[failed] = false
+	d.nAlive--
+	if d.nAlive < 2 {
+		panic("proto: fewer than 2 live nodes; replication impossible")
+	}
+	d.epoch++
+	items := d.post[failed]
+	d.post[failed] = nil
+	f := int32(failed)
+	out := make([]Reassignment, 0, len(items)*2)
+	for _, it := range items {
+		item := int(it)
+		p, s := d.resolve(item)
+		switch {
+		case p == f:
+			newP := s
+			newS := d.pick(item, newP)
+			d.setOverride(it, newP, newS)
+			d.post[newS] = append(d.post[newS], it)
+			out = append(out,
+				Reassignment{Item: item, Role: Primary, NewNode: NodeID(newP), Survivor: NodeID(newP)},
+				Reassignment{Item: item, Role: Secondary, NewNode: NodeID(newS), Survivor: NodeID(newP)})
+		case s == f:
+			newS := d.pick(item, p)
+			d.setOverride(it, p, newS)
+			d.post[newS] = append(d.post[newS], it)
+			out = append(out,
+				Reassignment{Item: item, Role: Secondary, NewNode: NodeID(newS), Survivor: NodeID(p)})
+		default:
+			// Postings are exact (see the field comment); a miss means
+			// the index and the override table disagree.
+			panic(fmt.Sprintf("proto: reverse index lists item %d on node %d, but its homes are %d/%d", item, failed, p, s))
+		}
+	}
+	return out
+}
+
+// Overrides returns the number of rehomed items currently carried in
+// the override table (observability and test support).
+func (d *HashedDir) Overrides() int {
+	n := 0
+	for s := range d.shards {
+		n += len(d.shards[s])
+	}
+	return n
+}
+
+// PostingsLen returns the reverse-index posting count for node n (test
+// support: postings must track current homes exactly).
+func (d *HashedDir) PostingsLen(n NodeID) int { return len(d.post[n]) }

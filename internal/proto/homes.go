@@ -28,6 +28,7 @@ type HomeMap struct {
 	nodes     int
 	alive     []bool
 	nAlive    int
+	epoch     int
 	primary   []NodeID
 	secondary []NodeID
 }
@@ -86,6 +87,27 @@ func (h *HomeMap) Alive(n NodeID) bool { return h.alive[n] }
 // AliveCount returns the number of live nodes.
 func (h *HomeMap) AliveCount() int { return h.nAlive }
 
+// Epoch returns the number of completed Rehome calls.
+func (h *HomeMap) Epoch() int { return h.epoch }
+
+// MemoryBytes returns the approximate resident footprint: two
+// materialized NodeID arrays plus the liveness vector.
+func (h *HomeMap) MemoryBytes() int64 {
+	return int64(len(h.primary)+len(h.secondary))*8 + int64(len(h.alive))
+}
+
+// Clone returns an independent copy (test and benchmark support).
+func (h *HomeMap) Clone() *HomeMap {
+	return &HomeMap{
+		nodes:     h.nodes,
+		alive:     append([]bool(nil), h.alive...),
+		nAlive:    h.nAlive,
+		epoch:     h.epoch,
+		primary:   append([]NodeID(nil), h.primary...),
+		secondary: append([]NodeID(nil), h.secondary...),
+	}
+}
+
 // nextAlive returns the first live node after n in ring order that differs
 // from exclude.
 func (h *HomeMap) nextAlive(n NodeID, exclude NodeID) NodeID {
@@ -103,6 +125,12 @@ func (h *HomeMap) nextAlive(n NodeID, exclude NodeID) NodeID {
 // It returns the reassignments so the caller can rebuild the new copies
 // from the surviving replicas. Rehoming below 2 live nodes panics: the
 // scheme cannot replicate on a single node.
+//
+// The live-ring successor of every node is computed once up front, so a
+// call costs O(items + N) instead of the per-hit nextAlive scan's
+// O(items x N) — at 512 nodes with block-distributed pages roughly every
+// item's scan paid the full ring walk. RehomeReference keeps the legacy
+// per-hit scan; TestFlatRehomeMatchesReference pins bit-identity.
 func (h *HomeMap) Rehome(failed NodeID) []Reassignment {
 	if !h.alive[failed] {
 		return nil
@@ -112,11 +140,58 @@ func (h *HomeMap) Rehome(failed NodeID) []Reassignment {
 	if h.nAlive < 2 {
 		panic("proto: fewer than 2 live nodes; replication impossible")
 	}
+	h.epoch++
+	// succ[n] = first live node strictly after n in ring order. One
+	// backwards double-walk of the ring: positions [N, 2N) seed the
+	// nearest-live-successor carry, positions [0, N) record it.
+	succ := make([]NodeID, h.nodes)
+	last := -1
+	for i := 2*h.nodes - 1; i >= 0; i-- {
+		c := i % h.nodes
+		if i < h.nodes {
+			succ[c] = last
+		}
+		if h.alive[c] {
+			last = c
+		}
+	}
 	var out []Reassignment
 	for i := range h.primary {
 		switch {
 		case h.primary[i] == failed:
 			// Promote the secondary, then pick a fresh secondary.
+			h.primary[i] = h.secondary[i]
+			h.secondary[i] = succ[h.primary[i]]
+			out = append(out,
+				Reassignment{Item: i, Role: Primary, NewNode: h.primary[i], Survivor: h.primary[i]},
+				Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+		case h.secondary[i] == failed:
+			h.secondary[i] = succ[h.primary[i]]
+			out = append(out,
+				Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+		}
+	}
+	return out
+}
+
+// RehomeReference is the seed's Rehome, kept verbatim as the
+// bit-identity reference for the successor-table fast path: every hit
+// pays a full nextAlive ring scan. Tests run both on clones and compare
+// the resulting maps and reassignment lists element-wise.
+func (h *HomeMap) RehomeReference(failed NodeID) []Reassignment {
+	if !h.alive[failed] {
+		return nil
+	}
+	h.alive[failed] = false
+	h.nAlive--
+	if h.nAlive < 2 {
+		panic("proto: fewer than 2 live nodes; replication impossible")
+	}
+	h.epoch++
+	var out []Reassignment
+	for i := range h.primary {
+		switch {
+		case h.primary[i] == failed:
 			h.primary[i] = h.secondary[i]
 			h.secondary[i] = h.nextAlive(h.primary[i], h.primary[i])
 			out = append(out,

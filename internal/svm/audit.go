@@ -42,28 +42,37 @@ type auditor struct {
 	stride int // page sweeps every stride events (locks every event)
 	tick   int
 
-	prevHeld [][]bool               // [node][lock]: node owned lock at last boundary
-	prevReq  [][]proto.VectorTime   // [node][page]: reqVer at last sweep
+	prevHeld [][]bool // [node][lock]: node owned lock at last boundary
+	// prevReq ([node][page]: reqVer at last sweep) backs the
+	// version-monotonicity invariant, which only runs at stride 1 — so
+	// the outer structure exists only then, and the per-page vectors are
+	// allocated on first touch. Eager allocation was one NewVector(N)
+	// per node per page: O(N² x pages) setup memory that a 512-node
+	// strided sweep paid without ever reading it. A nil entry means "no
+	// sweep has seen this page yet", equivalent to the zero vector it
+	// lazily becomes (reqVer starts at zero and never goes below).
+	prevReq [][]proto.VectorTime
 }
 
 // EnableAuditor attaches the online invariant auditor. stride controls
-// how often the (page-count proportional) page sweep runs: 1 checks
-// after every event and additionally enables the version-monotonicity
-// invariant; larger strides sample, which long svmcheck schedules use
-// to bound cost. Lock invariants are checked after every event
-// regardless. Call before Run.
+// how often the sweeps run: 1 checks after every event and additionally
+// enables the version-monotonicity invariant; larger strides sample
+// both the lock sweep (O(locks x N) per check) and the page sweep
+// (O(pages x N)), which long svmcheck schedules and the 512-node smoke
+// use to bound cost. Call before Run.
 func (cl *Cluster) EnableAuditor(stride int) {
 	if stride < 1 {
 		stride = 1
 	}
 	a := &auditor{cl: cl, stride: stride}
 	a.prevHeld = make([][]bool, cl.cfg.Nodes)
-	a.prevReq = make([][]proto.VectorTime, cl.cfg.Nodes)
 	for i := range a.prevHeld {
 		a.prevHeld[i] = make([]bool, cl.lockHomes.Items())
-		a.prevReq[i] = make([]proto.VectorTime, cl.pageHomes.Items())
-		for p := range a.prevReq[i] {
-			a.prevReq[i][p] = proto.NewVector(cl.cfg.Nodes)
+	}
+	if stride == 1 {
+		a.prevReq = make([][]proto.VectorTime, cl.cfg.Nodes)
+		for i := range a.prevReq {
+			a.prevReq[i] = make([]proto.VectorTime, cl.pageHomes.Items())
 		}
 	}
 	cl.aud = a
@@ -77,12 +86,13 @@ func (a *auditor) afterEvent() {
 	if a.cl.auditErr != nil {
 		return
 	}
+	a.tick++
+	if a.tick%a.stride != 0 {
+		return
+	}
 	err := a.checkLocks()
 	if err == nil {
-		a.tick++
-		if a.tick%a.stride == 0 {
-			err = a.checkPages()
-		}
+		err = a.checkPages()
 	}
 	if err != nil {
 		a.fail(err)
@@ -195,6 +205,10 @@ func (a *auditor) checkPages() error {
 			}
 			if a.stride == 1 {
 				prev := a.prevReq[n.id][pid]
+				if prev == nil {
+					prev = proto.NewVector(cl.cfg.Nodes)
+					a.prevReq[n.id][pid] = prev
+				}
 				for src, v := range pg.reqVer {
 					// Regressions are legal only inside recovery (the
 					// roll-back of the dead node's element, §4.5.2).

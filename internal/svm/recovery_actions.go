@@ -1,10 +1,32 @@
 package svm
 
 import (
+	"time"
+
 	"ftsvm/internal/checkpoint"
 	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
 )
+
+// rehome runs dir.Rehome(dead) under host wall timing (the measured
+// recovery-path directory cost reported by the scaling bench) and, for
+// hashed directories, charges the home-delta broadcast: a hashed
+// directory is computable from membership plus its override table, so
+// the coordinator must ship the newly created overrides to every
+// survivor. A flat directory re-runs the same full scan on every node
+// and ships nothing — keeping the flat recovery path bit-identical to
+// the seed.
+func (t *Thread) rehome(dir proto.Directory, dead int) []proto.Reassignment {
+	start := time.Now()
+	rs := dir.Rehome(dead)
+	t.cl.rehomeWallNs += time.Since(start).Nanoseconds()
+	if t.cl.dirHashed && len(rs) > 0 {
+		wire := proto.HomeDeltaWireBytes(len(rs))
+		survivors := dir.AliveCount() - 1 // everyone but the coordinator
+		t.charge(CompProtocol, t.cl.cfg.TransferNs(wire*survivors))
+	}
+	return rs
+}
 
 // reconcilePages restores the replica invariant for every page with
 // respect to the dead node's interrupted release (§4.5.2). The saved
@@ -103,7 +125,7 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 		tsD = cl.nodes[backup].savedTS[dead]
 	}
 	bytesMoved := 0
-	for _, r := range cl.pageHomes.Rehome(dead) {
+	for _, r := range t.rehome(cl.pageHomes, dead) {
 		pg := cl.nodes[r.NewNode].pt.pages[r.Item]
 		sv := cl.nodes[r.Survivor].pt.pages[r.Item]
 		switch r.Role {
@@ -187,7 +209,7 @@ func (t *Thread) rebuildLocks(dead int) {
 		}
 		oldVT[l] = vt
 	}
-	cl.lockHomes.Rehome(dead)
+	t.rehome(cl.lockHomes, dead)
 
 	for l := 0; l < nlocks; l++ {
 		var holders []int

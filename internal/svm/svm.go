@@ -150,8 +150,18 @@ type Cluster struct {
 	nodes   []*node
 	threads []*Thread
 
-	pageHomes *proto.HomeMap
-	lockHomes *proto.HomeMap
+	pageHomes proto.Directory
+	lockHomes proto.Directory
+	// dirHashed records that the directories are consistent-hashed
+	// (model.DirHashed): the recovery path then also charges the
+	// home-delta broadcast that ships new overrides to the survivors
+	// (a flat directory re-runs the same full scan everywhere and
+	// needs no such message).
+	dirHashed bool
+	// rehomeWallNs accumulates host wall time spent inside directory
+	// Rehome calls — the measured recovery-path directory cost that the
+	// scaling bench reports (virtual time is charged separately).
+	rehomeWallNs int64
 
 	rec recoveryState
 
@@ -356,12 +366,20 @@ func New(opt Options) (*Cluster, error) {
 		pages := opt.Pages
 		assign = func(p int) int { return p * cfg.Nodes / pages }
 	}
-	cl.pageHomes = proto.NewHomeMap(opt.Pages, cfg.Nodes, assign)
 	nlocks := opt.Locks
 	if nlocks == 0 {
 		nlocks = 1
 	}
-	cl.lockHomes = proto.NewHomeMap(nlocks, cfg.Nodes, func(l int) int { return l % cfg.Nodes })
+	lockAssign := func(l int) int { return l % cfg.Nodes }
+	if cfg.Directory == model.DirHashed {
+		cl.dirHashed = true
+		// Distinct seeds so the page and lock rings scatter independently.
+		cl.pageHomes = proto.NewHashedDir(opt.Pages, cfg.Nodes, cfg.Seed, assign)
+		cl.lockHomes = proto.NewHashedDir(nlocks, cfg.Nodes, cfg.Seed+1, lockAssign)
+	} else {
+		cl.pageHomes = proto.NewHomeMap(opt.Pages, cfg.Nodes, assign)
+		cl.lockHomes = proto.NewHomeMap(nlocks, cfg.Nodes, lockAssign)
+	}
 
 	cl.nodes = make([]*node, cfg.Nodes)
 	for i := range cl.nodes {
@@ -435,6 +453,16 @@ func (cl *Cluster) Run() error {
 			cl.parReason = reason
 		} else {
 			cl.eng.Parallel(cl.opt.Workers, cl.cfg.LinkLatencyNs)
+			// Node lanes read the directories concurrently, and a lookup
+			// cache fill is an in-place write; lookups are O(1) without
+			// the cache, so just turn it off. Rehome never runs here —
+			// failure injection forces the serial engine.
+			if d, ok := cl.pageHomes.(*proto.HashedDir); ok {
+				d.DisableCache()
+			}
+			if d, ok := cl.lockHomes.(*proto.HashedDir); ok {
+				d.DisableCache()
+			}
 		}
 	}
 	tid := 0
@@ -575,6 +603,17 @@ func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
 
 // NumPages returns the number of shared pages.
 func (cl *Cluster) NumPages() int { return cl.pageHomes.Items() }
+
+// DirectoryBytes returns the combined resident footprint of the page and
+// lock home directories — the directory-memory metric of the scaling
+// bench grid.
+func (cl *Cluster) DirectoryBytes() int64 {
+	return cl.pageHomes.MemoryBytes() + cl.lockHomes.MemoryBytes()
+}
+
+// RehomeWallNs returns the accumulated host wall time spent inside
+// directory Rehome calls across every recovery this cluster ran.
+func (cl *Cluster) RehomeWallNs() int64 { return cl.rehomeWallNs }
 
 // PageSize returns the shared-page size in bytes.
 func (cl *Cluster) PageSize() int { return cl.cfg.PageSize }
