@@ -8,9 +8,15 @@ import "ftsvm/internal/svm"
 // driving the protocol features whose recovery paths differ — lock
 // transfer and single-writer diffs (Counter), barriers and multi-writer
 // false sharing (FalseShare). Both follow the suite's contracts: all
-// control state lives in the registered state struct and is advanced
-// before the synchronization operation that checkpoints it, so a
-// post-failure replay re-executes each iteration exactly once.
+// control state lives in the registered state struct, work is advanced
+// past in the state before the synchronization operation that
+// checkpoints it (so a post-failure replay performs each unit of work
+// exactly once), and the sync CALL itself is re-executed by the replay
+// (so a thread restored from a mid-barrier snapshot re-issues the open
+// episode's call and its barrier numbering stays aligned — the same
+// shape runStages gives the SPLASH ports with its Arrived flag;
+// FalseShare packs the equivalent into Iter's parity to keep the
+// checkpoint blob, and with it every virtual time, unchanged).
 
 // microState is the per-thread resumable state of both micro workloads.
 type microState struct {
@@ -68,12 +74,20 @@ func FalseShare(s Shape, iters int) *Workload {
 		st := &microState{}
 		t.Setup(st)
 		mine := slots + 8*t.ID()
-		for st.Iter < iters {
-			v := t.ReadU64(mine)
-			t.Compute(150)
-			t.WriteU64(mine, v+1)
-			st.Iter++
+		// Iter counts half-steps: even = this iteration's increment is
+		// still owed, odd = done but its barrier call is not. A replay
+		// from a mid-barrier snapshot (odd Iter) skips the increment and
+		// re-issues the suspended Barrier call, keeping the thread's
+		// episode numbering aligned without widening the state blob.
+		for st.Iter < 2*iters {
+			if st.Iter%2 == 0 {
+				v := t.ReadU64(mine)
+				t.Compute(150)
+				t.WriteU64(mine, v+1)
+				st.Iter++
+			}
 			t.Barrier()
+			st.Iter++
 		}
 		t.Barrier()
 		if t.ID() == 0 {

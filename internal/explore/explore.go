@@ -190,11 +190,13 @@ func Explore(sp Spec, b Boundary, budget int64) Verdict {
 
 // ExploreSchedule re-executes the workload injecting a kill at each
 // scheduled boundary, in stream order. The protocol's failure model is
-// single-failure (§4.1): a kill whose boundary fires while a recovery
-// episode is still pending, or whose target node is already dead, is
-// refused — recorded in Verdict.Refused, never injected — rather than
-// silently explored as a schedule the protocol does not claim to
-// survive. Kills after a completed recovery are injected normally.
+// k-1 overlapping failures at replication degree k (§4.1 generalized;
+// the paper's k=2 tolerates exactly one): a kill is refused — recorded
+// in Verdict.Refused, never injected — rather than silently explored as
+// a schedule the protocol does not claim to survive, when its target is
+// already dead, when k-1 failures are already unrecovered, or when the
+// kill would leave fewer than k live nodes (no legal rehoming exists).
+// Kills after a completed recovery are injected normally.
 //
 // The verdict passes when the run finishes within the event budget with
 // every scheduled kill injected or refused, the invariant auditor stays
@@ -242,9 +244,12 @@ func ExploreSchedule(sp Spec, schedule []Boundary, budget int64) (v Verdict) {
 			pending = append(pending[:i], pending[i+1:]...)
 			i--
 			switch {
-			case cl.RecoveryPending() || cl.NodeDead(int(b.Node)):
-				// Second failure before the first recovered, or a target
-				// already gone: outside the single-failure model — refuse.
+			case cl.NodeDead(int(b.Node)) ||
+				cl.UnrecoveredFailures() >= cl.Degree()-1 ||
+				cl.LiveNodes()-1 < cl.Degree():
+				// Target already gone, overlap budget exhausted (k-1
+				// unrecovered failures at degree k), or too few survivors
+				// to rehome: outside the failure model — refuse.
 				v.Refused = append(v.Refused, b.ID())
 			default:
 				v.Injected = append(v.Injected, b.ID())
@@ -285,8 +290,8 @@ func ExploreSchedule(sp Spec, schedule []Boundary, budget int64) (v Verdict) {
 	default:
 		err := inst.Check()
 		if err == nil {
-			if len(v.Injected) > 0 && v.Recoveries == 0 {
-				// Undetected failure: the victim died after its last
+			if len(v.Injected) > 0 && v.Recoveries < int64(len(v.Injected)) {
+				// Undetected failure: a victim died after its last
 				// protocol obligation, so nothing ever probed it. The
 				// post-recovery replica invariant cannot hold (one home is
 				// dead and nobody rehomed); the availability invariant

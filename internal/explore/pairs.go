@@ -1,0 +1,110 @@
+package explore
+
+import (
+	"fmt"
+
+	"ftsvm/internal/obs"
+)
+
+// Pair is one ordered failure-point pair: a first kill at First, then a
+// second kill at Second in the re-execution that follows it. Second's
+// occurrence is counted from the start of the run (not from the
+// injection), so the pair is directly a two-kill schedule.
+type Pair struct {
+	First  Boundary
+	Second Boundary
+}
+
+// Schedule renders the pair as an ExploreSchedule input.
+func (p Pair) Schedule() []Boundary { return []Boundary{p.First, p.Second} }
+
+// ID renders the pair's stable coordinate, e.g.
+// "release.phase1@n2#3+msg.deliver@n0#41".
+func (p Pair) ID() string { return p.First.ID() + "+" + p.Second.ID() }
+
+// DiscoverSeconds runs the workload once with a kill injected by hand at
+// first, recording every boundary that fires after the injection on a
+// still-live node — including the boundaries of the recovery episode
+// itself (recovery.*, the mid-recovery failure points) — as a candidate
+// second coordinate. Because injection runs replay the recording's
+// deterministic prefix, and the discovery run is itself the single-kill
+// injection run, every returned coordinate names a real event of the
+// two-kill schedule's prefix.
+func DiscoverSeconds(sp Spec, first Boundary, budget int64) ([]Boundary, error) {
+	inst, err := sp.New()
+	if err != nil {
+		return nil, fmt.Errorf("explore: build %s: %w", sp.Name, err)
+	}
+	cl := inst.Cluster
+	rec := cl.EnableFlightRecorder(sp.ringSize())
+	cl.EnableWireTrace()
+	if budget > 0 {
+		cl.Engine().SetEventBudget(budget)
+	}
+	occ := map[occKey]int64{}
+	injected, injecting := false, false
+	var seconds []Boundary
+	rec.SetSink(func(e obs.Event) {
+		k := occKey{e.Kind, e.Node}
+		occ[k]++
+		if injecting {
+			return
+		}
+		if !injected && e.Kind == first.Kind && e.Node == first.Node && occ[k] == first.Occ {
+			injected = true
+			injecting = true
+			cl.KillNode(int(e.Node))
+			injecting = false
+			return
+		}
+		if injected && !cl.NodeDead(int(e.Node)) {
+			seconds = append(seconds, Boundary{Kind: e.Kind, Node: e.Node, Occ: occ[k]})
+		}
+	})
+	runErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return cl.Run()
+	}()
+	if runErr != nil {
+		return nil, fmt.Errorf("explore: %s discovery at %s: %w", sp.Name, first.ID(), runErr)
+	}
+	if !injected {
+		return nil, fmt.Errorf("explore: %s: boundary %s never fired in discovery run", sp.Name, first.ID())
+	}
+	return seconds, nil
+}
+
+// ExplorePairs enumerates and re-executes ordered failure-point pairs:
+// for each first boundary, one discovery run captures the boundaries of
+// the post-first-failure re-execution, up to secondsPer of them are
+// evenly sampled (0: all), and each (first, second) pair becomes a
+// two-kill schedule swept on the worker pool. Returns the pairs and
+// their verdicts in matching order.
+//
+// At replication degree k >= 3 the second kill is genuinely injected
+// (including mid-recovery) and the run is held to the same auditor,
+// self-check, replica/availability invariants, and consistency oracle
+// as single-kill sweeps; at k = 2 second kills are refused by the
+// failure model, which makes a pair sweep a refusal-rule test instead.
+func ExplorePairs(sp Spec, firsts []Boundary, secondsPer int, budget int64, workers int, progress func(done int, v Verdict)) ([]Pair, []Verdict, error) {
+	var pairs []Pair
+	for _, b1 := range firsts {
+		seconds, err := DiscoverSeconds(sp, b1, budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b2 := range Sample(seconds, secondsPer) {
+			pairs = append(pairs, Pair{First: b1, Second: b2})
+		}
+	}
+	schedules := make([][]Boundary, len(pairs))
+	for i, p := range pairs {
+		schedules[i] = p.Schedule()
+	}
+	vs := SweepSchedules(sp, schedules, budget, workers, progress)
+	return pairs, vs, nil
+}

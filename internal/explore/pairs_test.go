@@ -1,0 +1,250 @@
+package explore_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ftsvm/internal/explore"
+	"ftsvm/internal/harness"
+	"ftsvm/internal/model"
+	"ftsvm/internal/obs"
+	"ftsvm/internal/svm"
+)
+
+// pairSpec is the two-kill exploration configuration: six nodes so that
+// two victims still leave enough survivors for degree-3 replication, and
+// a fixed seed so the pinned coordinates below stay valid.
+func pairSpec(app string) explore.Spec {
+	return harness.ExploreSpec(harness.Config{
+		App: app, Size: harness.SizeSmall, Nodes: 6, ThreadsPerNode: 1,
+		LockAlgo: svm.LockPolling,
+		Overrides: func(cfg *model.Config) {
+			cfg.Seed = 1
+			cfg.ReplicaDegree = 3
+		},
+	})
+}
+
+// Per-app degree-3 baseline recordings, shared across the pair tests.
+var (
+	pairBaseOnce sync.Once
+	pairBase     map[string]*explore.Trace
+	pairBaseErr  error
+)
+
+func pairBaseline(t testing.TB, app string) *explore.Trace {
+	t.Helper()
+	pairBaseOnce.Do(func() {
+		pairBase = map[string]*explore.Trace{}
+		for _, a := range []string{"counter", "falseshare"} {
+			tr, err := explore.Record(pairSpec(a))
+			if err != nil {
+				pairBaseErr = err
+				return
+			}
+			pairBase[a] = tr
+		}
+	})
+	if pairBaseErr != nil {
+		t.Fatalf("degree-3 baseline recording: %v", pairBaseErr)
+	}
+	return pairBase[app]
+}
+
+// TestPinnedPairSchedules replays the exact two-kill schedules that
+// exposed real multi-failure protocol bugs when the pair explorer was
+// first run, pinning their fixes:
+//
+//   - reconcile-before-rehome ordering and replica-version divergence
+//     with two dead homes (release.savets firsts);
+//   - membership-round laundering of a second undetected failure
+//     (release.phase1 + lock.set);
+//   - recovery-coordinator failover when the coordinator is the second
+//     victim (release.savets + msg.send);
+//   - a kill at the recovery.restore boundary racing thread migration:
+//     the migrated thread must be registered on the backup node before
+//     the restore is announced (msg.send + recovery.restore);
+//   - a second death reported after recovery snapshots its death set
+//     being wiped with the queue instead of carried to the next episode
+//     (msg.send@n5#949 + msg.send@n3#977);
+//   - the barrier master completing an episode without a dead node's
+//     arrival — dead threads must keep the node blocking so timeout
+//     probes detect the failure (msg.send@n4 + msg.send@n5);
+//   - barrier-epoch skew in mid-barrier point-B checkpoints under
+//     false sharing: replay must re-execute the suspended barrier CALL,
+//     which FalseShare guarantees by packing the work/call guard into
+//     Iter's parity (msg.deliver@n0#48 + release.savets@n1#8);
+//   - the auditor flagging the §4.5.2 roll-back clamp as a version
+//     regression when globalSync and recovery completion coalesce into
+//     one event slice, so the clamp first surfaces at a calm boundary
+//     (msg.send@n1#41 seconds).
+//
+// Each schedule must genuinely inject both kills (not refuse the
+// second) and still pass the auditor, the workload self-check, the
+// replica/availability invariants, and the causal-replay oracle.
+func TestPinnedPairSchedules(t *testing.T) {
+	cases := []struct {
+		app, first, second string
+	}{
+		{"counter", "release.savets@n5#3", "msg.deliver@n1#1675"},
+		{"counter", "release.phase1@n3#1", "lock.set@n0#674"},
+		{"counter", "release.savets@n3#6", "msg.send@n5#1088"},
+		{"counter", "msg.send@n5#949", "recovery.restore@n0#1"},
+		{"counter", "msg.send@n5#949", "msg.send@n3#977"},
+		{"counter", "msg.send@n4#547", "msg.send@n5#666"},
+		{"falseshare", "msg.deliver@n0#48", "release.savets@n1#8"},
+		{"falseshare", "msg.send@n1#41", "msg.deliver@n0#113"},
+		{"falseshare", "msg.send@n1#41", "msg.send@n0#99"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app+"/"+tc.first+"+"+tc.second, func(t *testing.T) {
+			tr := pairBaseline(t, tc.app)
+			first, err := explore.ParseID(tc.first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := explore.ParseID(tc.second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := explore.ExploreSchedule(pairSpec(tc.app), []explore.Boundary{first, second}, tr.Budget())
+			if !v.Pass {
+				t.Fatalf("pinned schedule failed: %s", v.Err)
+			}
+			if len(v.Injected) != 2 {
+				t.Fatalf("injected = %v, want both kills injected", v.Injected)
+			}
+			if len(v.Refused) != 0 {
+				t.Fatalf("refused = %v, want none at degree 3", v.Refused)
+			}
+		})
+	}
+}
+
+// TestPairsDegree3 runs the pair explorer end to end on a small sampled
+// grid: every ordered pair must inject both kills at degree 3 and pass
+// the full verdict (auditor, self-check, invariants, oracle). The
+// discovery runs must also surface recovery-episode boundaries — the
+// mid-recovery failure points are the whole reason pairs exist.
+func TestPairsDegree3(t *testing.T) {
+	tr := pairBaseline(t, "counter")
+	firsts := explore.Sample(tr.Boundaries, 4)
+	pairs, verdicts, err := explore.ExplorePairs(pairSpec("counter"), firsts, 3, tr.Budget(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 || len(pairs) != len(verdicts) {
+		t.Fatalf("explored %d pairs with %d verdicts", len(pairs), len(verdicts))
+	}
+	for i, v := range verdicts {
+		if !v.Pass {
+			t.Errorf("pair %s failed: %s", pairs[i].ID(), v.Err)
+		}
+		if len(v.Injected) != 2 {
+			t.Errorf("pair %s injected %v, want both kills", pairs[i].ID(), v.Injected)
+		}
+	}
+
+	// A first kill late enough to leave a recovery episode in the tail
+	// must yield recovery.* boundaries among the candidate seconds.
+	var late explore.Boundary
+	for _, b := range tr.Boundaries {
+		if b.Kind == obs.KReleaseSaveTS && b.Node == 5 {
+			late = b
+		}
+	}
+	if late.Occ == 0 {
+		t.Fatal("no release.savets boundary on node 5 in the baseline")
+	}
+	seconds, err := explore.DiscoverSeconds(pairSpec("counter"), late, tr.Budget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRecovery := false
+	for _, b := range seconds {
+		if strings.HasPrefix(b.ID(), "recovery.") {
+			sawRecovery = true
+			break
+		}
+	}
+	if !sawRecovery {
+		t.Fatalf("no recovery.* boundary among %d discovered seconds after %s", len(seconds), late.ID())
+	}
+}
+
+// TestThirdFailureAtDegree3Refused is the degree-3 analogue of
+// TestSecondFailureDuringRecoveryRefused: with k = 3 replicas the
+// cluster genuinely absorbs two overlapping failures, so the refusal
+// line moves to the third. A third kill while two failures are still
+// unrecovered must be refused by the failure model, and the run must
+// still complete and pass.
+func TestThirdFailureAtDegree3Refused(t *testing.T) {
+	tr := pairBaseline(t, "counter")
+	var first explore.Boundary
+	for _, b := range tr.Boundaries {
+		if b.Kind == obs.KReleasePhase1 && b.Node == 1 {
+			first = b
+			break
+		}
+	}
+	if first.Occ == 0 {
+		t.Fatal("no release.phase1 boundary on node 1 in the baseline")
+	}
+
+	// Discovery run: inject the first two kills by hand — the second at
+	// the first boundary on a live node once recovery is pending — then
+	// note the first boundary on a live node while both failures are
+	// unrecovered. Injection runs replay the identical prefix, so all
+	// three coordinates are valid in the three-kill schedule.
+	sp := pairSpec("counter")
+	inst, err := sp.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := inst.Cluster
+	rec := cl.EnableFlightRecorder(64)
+	cl.EnableWireTrace()
+	type key struct {
+		kind obs.Kind
+		node int32
+	}
+	occ := map[key]int64{}
+	var second, third explore.Boundary
+	injected := 0
+	rec.SetSink(func(e obs.Event) {
+		k := key{e.Kind, e.Node}
+		occ[k]++
+		dead := cl.NodeDead(int(e.Node))
+		switch {
+		case injected == 0 && e.Kind == first.Kind && e.Node == first.Node && occ[k] == first.Occ:
+			injected = 1
+			cl.KillNode(int(e.Node))
+		case injected == 1 && cl.RecoveryPending() && e.Node != first.Node && !dead:
+			second = explore.Boundary{Kind: e.Kind, Node: e.Node, Occ: occ[k]}
+			injected = 2
+			cl.KillNode(int(e.Node))
+		case injected == 2 && third.Occ == 0 && !dead &&
+			cl.UnrecoveredFailures() >= cl.Degree()-1:
+			third = explore.Boundary{Kind: e.Kind, Node: e.Node, Occ: occ[k]}
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatalf("discovery run: %v", err)
+	}
+	if injected != 2 || third.Occ == 0 {
+		t.Fatalf("discovery incomplete: injected=%d third=%v", injected, third)
+	}
+
+	v := explore.ExploreSchedule(pairSpec("counter"), []explore.Boundary{first, second, third}, tr.Budget())
+	if !v.Pass {
+		t.Fatalf("schedule [%s %s %s] failed: %s", first.ID(), second.ID(), third.ID(), v.Err)
+	}
+	if len(v.Injected) != 2 || v.Injected[0] != first.ID() || v.Injected[1] != second.ID() {
+		t.Fatalf("injected = %v, want [%s %s]", v.Injected, first.ID(), second.ID())
+	}
+	if len(v.Refused) != 1 || v.Refused[0] != third.ID() {
+		t.Fatalf("refused = %v, want [%s]", v.Refused, third.ID())
+	}
+}

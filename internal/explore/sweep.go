@@ -15,16 +15,26 @@ import (
 // progress, when non-nil, is called once per completed run (serialized,
 // in completion order).
 func Sweep(sp Spec, bs []Boundary, budget int64, workers int, progress func(done int, v Verdict)) []Verdict {
-	out := make([]Verdict, len(bs))
+	schedules := make([][]Boundary, len(bs))
+	for i, b := range bs {
+		schedules[i] = []Boundary{b}
+	}
+	return SweepSchedules(sp, schedules, budget, workers, progress)
+}
+
+// SweepSchedules is Sweep over multi-kill schedules: one injection run
+// per schedule, same pool, same input-order verdicts.
+func SweepSchedules(sp Spec, schedules [][]Boundary, budget int64, workers int, progress func(done int, v Verdict)) []Verdict {
+	out := make([]Verdict, len(schedules))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(bs) {
-		workers = len(bs)
+	if workers > len(schedules) {
+		workers = len(schedules)
 	}
 	if workers <= 1 {
-		for i, b := range bs {
-			out[i] = Explore(sp, b, budget)
+		for i, s := range schedules {
+			out[i] = ExploreSchedule(sp, s, budget)
 			if progress != nil {
 				progress(i+1, out[i])
 			}
@@ -40,10 +50,10 @@ func Sweep(sp Spec, bs []Boundary, budget int64, workers int, progress func(done
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(bs) {
+				if i >= len(schedules) {
 					return
 				}
-				v := Explore(sp, bs[i], budget)
+				v := ExploreSchedule(sp, schedules[i], budget)
 				out[i] = v
 				d := int(done.Add(1))
 				if progress != nil {

@@ -81,6 +81,13 @@ type Config struct {
 	// override table and rehomes in O(items-on-failed + log N)).
 	Directory DirectoryMode
 
+	// ReplicaDegree is the home-replication degree k: every shared page
+	// and lock keeps k full copies on k distinct nodes, and the extended
+	// protocol survives any k-1 overlapping fail-stops. 0 (the default)
+	// means 2 — the paper's primary/secondary pair — and is bit-identical
+	// to the seed by construction.
+	ReplicaDegree int
+
 	// Retransmission. 0 means derived per message: 4*LinkLatencyNs plus
 	// twice the serialization time (size * BandwidthNsPerByte), so a lost
 	// 4 KB diff is not declared missing before its DMA could have finished.
@@ -402,6 +409,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: unknown Directory mode %d", int(c.Directory))
 	case c.ProbeNeighbors < 0:
 		return fmt.Errorf("model: ProbeNeighbors = %d, need >= 0 (0: probe all)", c.ProbeNeighbors)
+	case c.ReplicaDegree != 0 && (c.ReplicaDegree < 2 || c.ReplicaDegree > c.Nodes):
+		return fmt.Errorf("model: ReplicaDegree = %d, need 0 (default 2) or 2..Nodes", c.ReplicaDegree)
 	}
 	if c.Detection == DetectProbe {
 		if c.ProbeTimeoutNs <= 0 {
@@ -438,6 +447,15 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("model: %w", err)
 	}
 	return nil
+}
+
+// Degree returns the effective home-replication degree: ReplicaDegree,
+// or 2 (the paper's primary/secondary pair) when unset.
+func (c *Config) Degree() int {
+	if c.ReplicaDegree == 0 {
+		return 2
+	}
+	return c.ReplicaDegree
 }
 
 // TransferNs returns the modeled wire time for a message of size bytes:

@@ -24,10 +24,21 @@ package proto
 type Directory interface {
 	// Items returns the number of items the directory manages.
 	Items() int
-	// Primary returns the item's current primary home.
+	// Primary returns the item's current primary home (replica slot 0).
 	Primary(item int) NodeID
-	// Secondary returns the item's current secondary home.
+	// Secondary returns the item's current first secondary home (replica
+	// slot 1).
 	Secondary(item int) NodeID
+	// Degree returns the replication degree k: the number of distinct
+	// live homes every item keeps. The paper's protocol is k = 2.
+	Degree() int
+	// Replica returns the item's slot-th home, 0 <= slot < Degree().
+	// Slot 0 is the primary (committed copy); every other slot holds a
+	// symmetric tentative copy. Alloc-free — the hot-path accessor.
+	Replica(item, slot int) NodeID
+	// Replicas returns all k homes of the item, primary first, in a
+	// freshly allocated slice.
+	Replicas(item int) []NodeID
 	// Alive reports whether the directory still considers node live.
 	Alive(n NodeID) bool
 	// AliveCount returns the number of live nodes.
@@ -35,7 +46,7 @@ type Directory interface {
 	// Rehome marks failed as dead and reassigns every home role it held,
 	// returning the reassignments so the caller can rebuild the new
 	// copies from the surviving replicas. Rehoming an already-dead node
-	// returns nil; rehoming below 2 live nodes panics.
+	// returns nil; rehoming below Degree() live nodes panics.
 	Rehome(failed NodeID) []Reassignment
 	// Epoch returns the directory's membership version: the number of
 	// completed Rehome calls. Lookup caches key on it.

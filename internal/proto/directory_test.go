@@ -77,6 +77,70 @@ func TestDirectoryRehomeInvariant(t *testing.T) {
 	}
 }
 
+// Property (k-replica generalization of TestDirectoryRehomeInvariant):
+// for every degree k in 2..5, both directories keep k distinct live
+// replicas for every item under every random failure order until fewer
+// than k nodes remain, primary first, with consistent epochs and alive
+// counts — and before any failure the two implementations agree on all
+// k slots.
+func TestDirectoryKReplicaInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		degree := 2 + rng.Intn(4) // k in 2..5
+		const nodes = 10
+		const items = 64
+		pins := make([]NodeID, items)
+		for i := range pins {
+			pins[i] = rng.Intn(nodes)
+		}
+		assign := func(i int) NodeID { return pins[i] }
+		dirs := []Directory{
+			NewHomeMapK(items, nodes, degree, assign),
+			NewHashedDirK(items, nodes, degree, seed, assign),
+		}
+		for _, d := range dirs {
+			if d.Degree() != degree {
+				return false
+			}
+			for i := 0; i < items; i++ {
+				rs := d.Replicas(i)
+				if len(rs) != degree || rs[0] != d.Primary(i) || rs[1] != d.Secondary(i) {
+					return false
+				}
+				// Healthy placement identical across implementations.
+				for s, r := range rs {
+					if r != NodeID((int(pins[i])+s)%nodes) {
+						return false
+					}
+				}
+			}
+		}
+		perm := rng.Perm(nodes)
+		for k := 0; k+degree < nodes; k++ { // stop while >= degree stay alive
+			for _, d := range dirs {
+				d.Rehome(perm[k])
+				if d.Epoch() != k+1 || d.AliveCount() != nodes-k-1 {
+					return false
+				}
+				for i := 0; i < items; i++ {
+					seen := map[NodeID]bool{}
+					for s := 0; s < degree; s++ {
+						r := d.Replica(i, s)
+						if seen[r] || !d.Alive(r) {
+							return false
+						}
+						seen[r] = true
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: hashed lookups are a pure function of (construction
 // parameters, failure sequence) — two directories built identically and
 // failed identically agree on every lookup, whether or not either uses

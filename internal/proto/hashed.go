@@ -40,6 +40,7 @@ import (
 // concurrently (the parallel engine); lookups stay O(1) without it.
 type HashedDir struct {
 	nodes  int
+	degree int
 	alive  []bool
 	nAlive int
 	epoch  int
@@ -98,10 +99,13 @@ const (
 )
 
 // dirOverride records a rehomed item's current homes and the epoch that
-// placed them there.
+// placed them there. rest carries replica slots 2..k-1 and stays nil at
+// the paper's degree 2, so the modeled per-entry footprint is unchanged
+// on the legacy tiers.
 type dirOverride struct {
 	prim, sec int32
 	epoch     int32
+	rest      []int32
 }
 
 // ringNodeBits is the node-id field width of a packed ring point: the
@@ -125,14 +129,25 @@ func splitmix64(x uint64) uint64 {
 // locality choice, as in NewHomeMap); seed perturbs the ring hashes so
 // distinct directories (pages vs locks) scatter independently.
 func NewHashedDir(items, nodes int, seed int64, assign func(item int) NodeID) *HashedDir {
-	if nodes < 2 {
-		panic("proto: HashedDir needs at least 2 nodes for replication")
+	return NewHashedDirK(items, nodes, 2, seed, assign)
+}
+
+// NewHashedDirK builds a hashed directory with replication degree k: each
+// item's slot-s home starts as the s-th ring successor of its pin, so
+// k = 2 reproduces the pin/neighbor placement exactly.
+func NewHashedDirK(items, nodes, k int, seed int64, assign func(item int) NodeID) *HashedDir {
+	if k < 2 {
+		panic("proto: HashedDir needs replication degree >= 2")
+	}
+	if nodes < k {
+		panic(fmt.Sprintf("proto: HashedDir needs at least %d nodes for %d-way replication", k, k))
 	}
 	if nodes >= 1<<ringNodeBits {
 		panic(fmt.Sprintf("proto: HashedDir supports at most %d nodes (packed ring points)", 1<<ringNodeBits-1))
 	}
 	d := &HashedDir{
 		nodes:   nodes,
+		degree:  k,
 		alive:   make([]bool, nodes),
 		nAlive:  nodes,
 		seed:    splitmix64(uint64(seed) ^ 0xD1B54A32D192ED03),
@@ -160,9 +175,9 @@ func NewHashedDir(items, nodes int, seed int64, assign func(item int) NodeID) *H
 			panic(fmt.Sprintf("proto: assign(%d) = %d out of range", i, p))
 		}
 		d.pins[i] = int32(p)
-		sec := (p + 1) % nodes
-		d.post[p] = append(d.post[p], int32(i))
-		d.post[sec] = append(d.post[sec], int32(i))
+		for s := 0; s < k; s++ {
+			d.post[(p+s)%nodes] = append(d.post[(p+s)%nodes], int32(i))
+		}
 	}
 	return d
 }
@@ -230,6 +245,49 @@ func (d *HashedDir) Secondary(item int) NodeID {
 	return NodeID(s)
 }
 
+// Degree returns the replication degree k.
+func (d *HashedDir) Degree() int { return d.degree }
+
+// Replica returns the item's slot-th home (slot 0 is the primary).
+// Slots 0 and 1 go through the lookup cache; higher slots read the
+// override table directly or fall back to pin arithmetic.
+func (d *HashedDir) Replica(item, slot int) NodeID {
+	switch slot {
+	case 0:
+		return d.Primary(item)
+	case 1:
+		return d.Secondary(item)
+	}
+	return NodeID(d.resolveSlot(item, slot))
+}
+
+// resolveSlot resolves one replica slot without touching the lookup
+// cache — Rehome must not fill cache entries tagged with the epoch it is
+// still in the middle of installing.
+func (d *HashedDir) resolveSlot(item, slot int) int32 {
+	if ov, ok := d.shards[item&(dirShards-1)][int32(item)]; ok {
+		switch slot {
+		case 0:
+			return ov.prim
+		case 1:
+			return ov.sec
+		default:
+			return ov.rest[slot-2]
+		}
+	}
+	return int32((int(d.pins[item]) + slot) % d.nodes)
+}
+
+// Replicas returns all k homes of the item, primary first, freshly
+// allocated.
+func (d *HashedDir) Replicas(item int) []NodeID {
+	out := make([]NodeID, d.degree)
+	for s := range out {
+		out[s] = d.Replica(item, s)
+	}
+	return out
+}
+
 // MemoryBytes returns the approximate resident footprint: pins,
 // postings, override entries, ring, and cache.
 func (d *HashedDir) MemoryBytes() int64 {
@@ -240,6 +298,10 @@ func (d *HashedDir) MemoryBytes() int64 {
 	for s := range d.shards {
 		// Map entry: 12 bytes of payload plus ~2x bucket overhead.
 		b += int64(len(d.shards[s])) * 36
+		if d.degree > 2 {
+			// rest slice header + slots 2..k-1 per override entry.
+			b += int64(len(d.shards[s])) * int64(24+4*(d.degree-2))
+		}
 	}
 	b += int64(cap(d.ring)) * 8
 	b += int64(len(d.alive))
@@ -298,39 +360,102 @@ func (d *HashedDir) Rehome(failed NodeID) []Reassignment {
 	}
 	d.alive[failed] = false
 	d.nAlive--
-	if d.nAlive < 2 {
-		panic("proto: fewer than 2 live nodes; replication impossible")
+	if d.nAlive < d.degree {
+		panic(fmt.Sprintf("proto: fewer than %d live nodes; replication impossible", d.degree))
 	}
 	d.epoch++
 	items := d.post[failed]
 	d.post[failed] = nil
 	f := int32(failed)
 	out := make([]Reassignment, 0, len(items)*2)
+	if d.degree == 2 {
+		// The paper's pair rule, kept verbatim as the k=2 fast path
+		// (bit-identity with the seed and the flat directory).
+		for _, it := range items {
+			item := int(it)
+			p, s := d.resolve(item)
+			switch {
+			case p == f:
+				newP := s
+				newS := d.pick(item, newP)
+				d.setOverride(it, newP, newS)
+				d.post[newS] = append(d.post[newS], it)
+				out = append(out,
+					Reassignment{Item: item, Role: Primary, NewNode: NodeID(newP), Survivor: NodeID(newP)},
+					Reassignment{Item: item, Role: Secondary, NewNode: NodeID(newS), Survivor: NodeID(newP)})
+			case s == f:
+				newS := d.pick(item, p)
+				d.setOverride(it, p, newS)
+				d.post[newS] = append(d.post[newS], it)
+				out = append(out,
+					Reassignment{Item: item, Role: Secondary, NewNode: NodeID(newS), Survivor: NodeID(p)})
+			default:
+				// Postings are exact (see the field comment); a miss means
+				// the index and the override table disagree.
+				panic(fmt.Sprintf("proto: reverse index lists item %d on node %d, but its homes are %d/%d", item, failed, p, s))
+			}
+		}
+		return out
+	}
+	// General k: drop the failed slot, shift the surviving replicas left
+	// (a slot-0 death promotes the first secondary in place), and pick a
+	// fresh tail replica off the hash ring, excluding every node that
+	// already holds a copy.
+	homes := make([]int32, d.degree)
 	for _, it := range items {
 		item := int(it)
-		p, s := d.resolve(item)
-		switch {
-		case p == f:
-			newP := s
-			newS := d.pick(item, newP)
-			d.setOverride(it, newP, newS)
-			d.post[newS] = append(d.post[newS], it)
+		slot := -1
+		for s := 0; s < d.degree; s++ {
+			homes[s] = d.resolveSlot(item, s)
+			if homes[s] == f {
+				slot = s
+			}
+		}
+		if slot < 0 {
+			panic(fmt.Sprintf("proto: reverse index lists item %d on node %d, but no replica slot holds it", item, failed))
+		}
+		copy(homes[slot:], homes[slot+1:])
+		tail := d.pickExcluding(item, homes[:d.degree-1])
+		homes[d.degree-1] = tail
+		rest := make([]int32, d.degree-2)
+		copy(rest, homes[2:])
+		d.shards[item&(dirShards-1)][it] = dirOverride{prim: homes[0], sec: homes[1], epoch: int32(d.epoch), rest: rest}
+		d.post[tail] = append(d.post[tail], it)
+		if slot == 0 {
 			out = append(out,
-				Reassignment{Item: item, Role: Primary, NewNode: NodeID(newP), Survivor: NodeID(newP)},
-				Reassignment{Item: item, Role: Secondary, NewNode: NodeID(newS), Survivor: NodeID(newP)})
-		case s == f:
-			newS := d.pick(item, p)
-			d.setOverride(it, p, newS)
-			d.post[newS] = append(d.post[newS], it)
+				Reassignment{Item: item, Role: Primary, NewNode: NodeID(homes[0]), Survivor: NodeID(homes[0])},
+				Reassignment{Item: item, Role: Secondary, NewNode: NodeID(tail), Survivor: NodeID(homes[0])})
+		} else {
 			out = append(out,
-				Reassignment{Item: item, Role: Secondary, NewNode: NodeID(newS), Survivor: NodeID(p)})
-		default:
-			// Postings are exact (see the field comment); a miss means
-			// the index and the override table disagree.
-			panic(fmt.Sprintf("proto: reverse index lists item %d on node %d, but its homes are %d/%d", item, failed, p, s))
+				Reassignment{Item: item, Role: Secondary, NewNode: NodeID(tail), Survivor: NodeID(homes[0])})
 		}
 	}
 	return out
+}
+
+// pickExcluding returns the live node owning the ring successor of
+// item's hash point, skipping dead nodes and every member of exclude —
+// the k-replica generalization of pick.
+func (d *HashedDir) pickExcluding(item int, exclude []int32) int32 {
+	h := splitmix64(d.seed^uint64(item)*0x9E3779B97F4A7C15) &^ (1<<ringNodeBits - 1)
+	i, _ := slices.BinarySearch(d.ring, h)
+	for off := 0; off < len(d.ring); off++ {
+		n := int32(d.ring[(i+off)%len(d.ring)] & (1<<ringNodeBits - 1))
+		if !d.alive[n] {
+			continue
+		}
+		member := false
+		for _, x := range exclude {
+			if x == n {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return n
+		}
+	}
+	panic("proto: hash ring has no live node outside the excluded set")
 }
 
 // Overrides returns the number of rehomed items currently carried in

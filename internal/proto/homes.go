@@ -20,17 +20,22 @@ func (r Role) String() string {
 	return "secondary"
 }
 
-// HomeMap assigns each item (shared page or lock) a primary and a secondary
-// home on two distinct nodes, and reassigns homes when a node fails so that
-// two distinct live replicas always exist. The same structure serves pages
-// and locks; the paper uses the identical scheme for both.
+// HomeMap assigns each item (shared page or lock) k homes on k distinct
+// nodes (slot 0 is the primary, slots 1..k-1 the secondaries), and
+// reassigns homes when a node fails so that k distinct live replicas
+// always exist. The same structure serves pages and locks; the paper uses
+// the identical scheme for both with k = 2.
 type HomeMap struct {
 	nodes     int
+	degree    int
 	alive     []bool
 	nAlive    int
 	epoch     int
 	primary   []NodeID
 	secondary []NodeID
+	// extra holds replica slots 2..degree-1, one row per slot; nil at the
+	// paper's degree 2 so the seed footprint and layout are untouched.
+	extra [][]NodeID
 }
 
 // Reassignment describes one home change performed by Rehome: the item's
@@ -48,11 +53,22 @@ type Reassignment struct {
 // primaries for locality); the secondary home starts as the next node in
 // node order, as in the paper.
 func NewHomeMap(items, nodes int, assign func(item int) NodeID) *HomeMap {
-	if nodes < 2 {
-		panic("proto: HomeMap needs at least 2 nodes for replication")
+	return NewHomeMapK(items, nodes, 2, assign)
+}
+
+// NewHomeMapK builds a home map with replication degree k: each item's
+// slot-s home starts as the s-th ring successor of its assigned primary,
+// so k = 2 reproduces the paper's primary/next-node placement exactly.
+func NewHomeMapK(items, nodes, k int, assign func(item int) NodeID) *HomeMap {
+	if k < 2 {
+		panic("proto: HomeMap needs replication degree >= 2")
+	}
+	if nodes < k {
+		panic(fmt.Sprintf("proto: HomeMap needs at least %d nodes for %d-way replication", k, k))
 	}
 	h := &HomeMap{
 		nodes:     nodes,
+		degree:    k,
 		alive:     make([]bool, nodes),
 		nAlive:    nodes,
 		primary:   make([]NodeID, items),
@@ -61,6 +77,9 @@ func NewHomeMap(items, nodes int, assign func(item int) NodeID) *HomeMap {
 	for i := range h.alive {
 		h.alive[i] = true
 	}
+	for s := 2; s < k; s++ {
+		h.extra = append(h.extra, make([]NodeID, items))
+	}
 	for i := 0; i < items; i++ {
 		p := assign(i)
 		if p < 0 || p >= nodes {
@@ -68,6 +87,9 @@ func NewHomeMap(items, nodes int, assign func(item int) NodeID) *HomeMap {
 		}
 		h.primary[i] = p
 		h.secondary[i] = (p + 1) % nodes
+		for s := 2; s < k; s++ {
+			h.extra[s-2][i] = NodeID((int(p) + s) % nodes)
+		}
 	}
 	return h
 }
@@ -81,6 +103,31 @@ func (h *HomeMap) Primary(item int) NodeID { return h.primary[item] }
 // Secondary returns the item's current secondary home.
 func (h *HomeMap) Secondary(item int) NodeID { return h.secondary[item] }
 
+// Degree returns the replication degree k.
+func (h *HomeMap) Degree() int { return h.degree }
+
+// Replica returns the item's slot-th home (slot 0 is the primary).
+func (h *HomeMap) Replica(item, slot int) NodeID {
+	switch slot {
+	case 0:
+		return h.primary[item]
+	case 1:
+		return h.secondary[item]
+	default:
+		return h.extra[slot-2][item]
+	}
+}
+
+// Replicas returns all k homes of the item, primary first. The slice is
+// freshly allocated; hot paths should use Replica.
+func (h *HomeMap) Replicas(item int) []NodeID {
+	out := make([]NodeID, h.degree)
+	for s := range out {
+		out[s] = h.Replica(item, s)
+	}
+	return out
+}
+
 // Alive reports whether the map still considers node live.
 func (h *HomeMap) Alive(n NodeID) bool { return h.alive[n] }
 
@@ -90,22 +137,31 @@ func (h *HomeMap) AliveCount() int { return h.nAlive }
 // Epoch returns the number of completed Rehome calls.
 func (h *HomeMap) Epoch() int { return h.epoch }
 
-// MemoryBytes returns the approximate resident footprint: two
-// materialized NodeID arrays plus the liveness vector.
+// MemoryBytes returns the approximate resident footprint: k materialized
+// NodeID arrays plus the liveness vector.
 func (h *HomeMap) MemoryBytes() int64 {
-	return int64(len(h.primary)+len(h.secondary))*8 + int64(len(h.alive))
+	b := int64(len(h.primary)+len(h.secondary))*8 + int64(len(h.alive))
+	for _, row := range h.extra {
+		b += int64(len(row)) * 8
+	}
+	return b
 }
 
 // Clone returns an independent copy (test and benchmark support).
 func (h *HomeMap) Clone() *HomeMap {
-	return &HomeMap{
+	c := &HomeMap{
 		nodes:     h.nodes,
+		degree:    h.degree,
 		alive:     append([]bool(nil), h.alive...),
 		nAlive:    h.nAlive,
 		epoch:     h.epoch,
 		primary:   append([]NodeID(nil), h.primary...),
 		secondary: append([]NodeID(nil), h.secondary...),
 	}
+	for _, row := range h.extra {
+		c.extra = append(c.extra, append([]NodeID(nil), row...))
+	}
+	return c
 }
 
 // nextAlive returns the first live node after n in ring order that differs
@@ -137,8 +193,8 @@ func (h *HomeMap) Rehome(failed NodeID) []Reassignment {
 	}
 	h.alive[failed] = false
 	h.nAlive--
-	if h.nAlive < 2 {
-		panic("proto: fewer than 2 live nodes; replication impossible")
+	if h.nAlive < h.degree {
+		panic(fmt.Sprintf("proto: fewer than %d live nodes; replication impossible", h.degree))
 	}
 	h.epoch++
 	// succ[n] = first live node strictly after n in ring order. One
@@ -156,22 +212,92 @@ func (h *HomeMap) Rehome(failed NodeID) []Reassignment {
 		}
 	}
 	var out []Reassignment
+	if h.degree == 2 {
+		// The paper's pair rule, kept verbatim as the k=2 fast path
+		// (bit-identity with the seed and RehomeReference).
+		for i := range h.primary {
+			switch {
+			case h.primary[i] == failed:
+				// Promote the secondary, then pick a fresh secondary.
+				h.primary[i] = h.secondary[i]
+				h.secondary[i] = succ[h.primary[i]]
+				out = append(out,
+					Reassignment{Item: i, Role: Primary, NewNode: h.primary[i], Survivor: h.primary[i]},
+					Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+			case h.secondary[i] == failed:
+				h.secondary[i] = succ[h.primary[i]]
+				out = append(out,
+					Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+			}
+		}
+		return out
+	}
+	// General k: drop the failed slot, shift the surviving replicas left
+	// (a slot-0 death promotes the first secondary in place), and append
+	// a fresh tail replica — the first live ring successor of the new
+	// primary not already holding a copy. At k=2 this is exactly the
+	// pair rule above.
+	homes := make([]NodeID, h.degree)
 	for i := range h.primary {
-		switch {
-		case h.primary[i] == failed:
-			// Promote the secondary, then pick a fresh secondary.
-			h.primary[i] = h.secondary[i]
-			h.secondary[i] = succ[h.primary[i]]
+		slot := -1
+		switch failed {
+		case h.primary[i]:
+			slot = 0
+		case h.secondary[i]:
+			slot = 1
+		default:
+			for s := range h.extra {
+				if h.extra[s][i] == failed {
+					slot = s + 2
+					break
+				}
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		for s := 0; s < h.degree; s++ {
+			homes[s] = h.Replica(i, s)
+		}
+		copy(homes[slot:], homes[slot+1:])
+		tail := freshTail(succ, homes[:h.degree-1])
+		homes[h.degree-1] = tail
+		h.primary[i] = homes[0]
+		h.secondary[i] = homes[1]
+		for s := range h.extra {
+			h.extra[s][i] = homes[s+2]
+		}
+		if slot == 0 {
 			out = append(out,
-				Reassignment{Item: i, Role: Primary, NewNode: h.primary[i], Survivor: h.primary[i]},
-				Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
-		case h.secondary[i] == failed:
-			h.secondary[i] = succ[h.primary[i]]
+				Reassignment{Item: i, Role: Primary, NewNode: homes[0], Survivor: homes[0]},
+				Reassignment{Item: i, Role: Secondary, NewNode: tail, Survivor: homes[0]})
+		} else {
 			out = append(out,
-				Reassignment{Item: i, Role: Secondary, NewNode: h.secondary[i], Survivor: h.primary[i]})
+				Reassignment{Item: i, Role: Secondary, NewNode: tail, Survivor: homes[0]})
 		}
 	}
 	return out
+}
+
+// freshTail returns the first live ring successor of homes[0] that holds
+// no copy of the item yet. succ must map every node to its nearest live
+// strict successor; homes must contain only live nodes.
+func freshTail(succ, homes []NodeID) NodeID {
+	c := succ[homes[0]]
+	for hop := 0; hop < len(succ); hop++ {
+		member := false
+		for _, m := range homes {
+			if m == c {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return c
+		}
+		c = succ[c]
+	}
+	panic("proto: no live node available for rehoming")
 }
 
 // RehomeReference is the seed's Rehome, kept verbatim as the

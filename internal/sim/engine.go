@@ -55,6 +55,10 @@ type Engine struct {
 	lanes     []*Lane
 	par       *parRun
 	lookahead int64
+	// Last committed (t, seq) across all lanes and commit rounds; the
+	// commit pass asserts it never regresses (lane.go).
+	cmtT   int64
+	cmtSeq uint64
 }
 
 type event struct {

@@ -594,6 +594,21 @@ func (e *Engine) commitPass() error {
 		if best == nil || bkind == 2 {
 			break // nothing pending, or stalled on an unexecuted event
 		}
+		// Commit-order assertion, across lanes and across rounds: the
+		// serial engine consumes items in strictly increasing (t, seq)
+		// order, so any regression here — a later round committing
+		// something canonically earlier than a past commit, or a
+		// same-timestamp pair seated out of seq order — is exactly the
+		// cross-lane window bug the parallel engine must exclude.
+		// Equality is legitimate: a suspended event is visited at its
+		// one (t, seq) once per RNG feed and again when its record
+		// commits. Two integer compares per commit; determinism gates
+		// run with this always on.
+		if bt < e.cmtT || (bt == e.cmtT && bs < e.cmtSeq) {
+			panic(fmt.Sprintf("sim: commit order violation: (t=%d seq=%d) after (t=%d seq=%d) on lane %d",
+				bt, bs, e.cmtT, e.cmtSeq, best.id))
+		}
+		e.cmtT, e.cmtSeq = bt, bs
 		ln := best
 		if bkind == 1 {
 			if ln.failed {

@@ -81,7 +81,7 @@ func (t *Thread) arriveIfReady(epoch int64) {
 	if int64(n.barEpoch) >= epoch || n.barSentEpoch >= epoch || n.barArriving {
 		return
 	}
-	if n.barCount[epoch] < n.liveThreads() {
+	if n.barArrived(epoch) < n.liveThreads() {
 		return
 	}
 	n.barArriving = true
@@ -94,6 +94,40 @@ func (t *Thread) arriveIfReady(epoch int64) {
 	if n.barSentEpoch < epoch && int64(n.barEpoch) < epoch {
 		t.sendArrival(epoch)
 	}
+}
+
+// barArrived counts threads that have satisfied episode epoch on this
+// node: parked arrivals plus threads already past it. The second term is
+// zero in normal operation (a thread's barSeq reaches epoch only after
+// the node's own barEpoch does, and arriveIfReady returns early then) —
+// it exists for migrated threads restored from a mid-barrier checkpoint,
+// whose barSeq resumes at the episode their death interval completed.
+// Such a thread never re-arrives at that episode on its new node, and
+// without this credit the node's count could never fill.
+func (n *node) barArrived(epoch int64) int {
+	c := n.barCount[epoch]
+	for _, s := range n.threads {
+		if !s.dead && !s.finished && s.barSeq >= epoch {
+			c++
+		}
+	}
+	return c
+}
+
+// drained reports whether every thread ever hosted on this node finished
+// its body — only then can the node never again arrive at a barrier
+// episode. Dead threads do NOT drain a node: a missing arrival from a
+// node with dead unfinished threads is an undetected failure, and the
+// episode must keep waiting so the members' timeout probes detect it and
+// recovery re-forms the barrier against the new membership — releasing
+// without it would silently drop the dead node's remaining intervals.
+func (n *node) drained() bool {
+	for _, s := range n.threads {
+		if !s.finished {
+			return false
+		}
+	}
+	return true
 }
 
 // liveThreads returns the number of unfinished live threads currently on
@@ -141,9 +175,8 @@ func (cl *Cluster) masterNode() int {
 	panic("svm: no live nodes")
 }
 
-// masterArrive records a node's arrival; when every live node has arrived
-// the master merges and broadcasts the release. Runs in engine or process
-// context, never blocks.
+// masterArrive records a node's arrival and completes the episode if it
+// is now fully arrived. Runs in engine or process context, never blocks.
 func (n *node) masterArrive(a *barArrive) {
 	if a.Epoch <= n.masterDone {
 		return // stale resend for an already-released episode
@@ -154,8 +187,29 @@ func (n *node) masterArrive(a *barArrive) {
 		n.masterArrivals[a.Epoch] = byNode
 	}
 	byNode[a.Node] = a
+	n.masterTryRelease(a.Epoch)
+}
+
+// masterTryRelease merges and broadcasts episode epoch once every member
+// that can still arrive has: a missing arrival blocks the release unless
+// its node has drained (every thread finished). A drained node can never
+// arrive — unreachable in a healthy run (a thread parks inside its final
+// barrier call until the release, so its node's arrival is always either
+// recorded or still owed by an unfinished thread), but a migrated thread
+// replaying its post-loop barrier call arrives at an episode beyond
+// everyone else's last, and that episode must complete once the rest of
+// the cluster drains (noteThreadExit re-evaluates). Runs in engine or
+// process context, never blocks.
+func (n *node) masterTryRelease(epoch int) {
+	if epoch <= n.masterDone {
+		return
+	}
+	byNode := n.masterArrivals[epoch]
+	if byNode == nil {
+		return
+	}
 	for _, nd := range n.cl.nodes {
-		if !nd.excluded && byNode[nd.id] == nil {
+		if !nd.excluded && byNode[nd.id] == nil && !nd.drained() {
 			return // still waiting for a member's arrival
 		}
 	}
@@ -171,15 +225,15 @@ func (n *node) masterArrive(a *barArrive) {
 			lists = append(lists, arr.Lists...)
 		}
 	}
-	rel := &barRelease{Epoch: a.Epoch, VT: vt, Lists: lists}
-	n.masterDone = a.Epoch
+	rel := &barRelease{Epoch: epoch, VT: vt, Lists: lists}
+	n.masterDone = epoch
 	n.stats.BarrierEpisodes++
-	delete(n.masterArrivals, a.Epoch)
+	delete(n.masterArrivals, epoch)
 	// Boundary: the master has merged the episode but broadcast nothing
 	// yet. A master killed here strands every member mid-barrier with the
 	// release undelivered — recovery must replace the master and resend
 	// arrivals against the new membership.
-	n.cl.trace(obs.KBarrierRelease, n.id, -1, int64(a.Epoch))
+	n.cl.trace(obs.KBarrierRelease, n.id, -1, int64(epoch))
 	if n.cl.cfg.FanoutArity >= 2 {
 		// Spanning-tree broadcast: deliverBarRelease forwards to this
 		// node's tree children, and every receiver forwards onward.

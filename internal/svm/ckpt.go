@@ -77,6 +77,18 @@ func (s *Thread) encodeSnapshot() (checkpoint.Snapshot, int) {
 		panic(fmt.Sprintf("svm: checkpoint thread %d: %v", s.id, err))
 	}
 	s.ckptSeq++
+	// BarSeq records the thread's pre-arrival barrier count, even when
+	// the snapshot is taken inside a barrier call (point B of episode
+	// barSeq+1). The workload contract (internal/apps) is that replay
+	// re-executes the suspended sync CALL — runStages guards stage
+	// bodies with an Arrived flag, and the micro workloads guard work
+	// with a half-step counter — so the restored thread's first replayed
+	// Barrier is numbered barSeq+1, exactly the open episode: it arrives
+	// there if the re-formed episode still needs it, or falls through if
+	// the cluster completed it. Recording barSeq+1 instead would assume
+	// the call is NOT replayed, skewing every later arrival of a
+	// replayed thread one episode ahead of its work and shipping its
+	// intervals one sync point late.
 	return checkpoint.Snapshot{Seq: s.ckptSeq, VT: s.node.vt.Clone(), BarSeq: s.barSeq, Blob: blob}, len(blob)
 }
 
@@ -90,6 +102,29 @@ func (t *Thread) saveThreadState(s *Thread) {
 	}
 	t.node.ckptCount++
 	t.charge(CompCheckpoint, cfg.CheckpointNs(sz))
+	if deg := t.cl.Degree(); deg > 2 {
+		// Replicate the checkpoint at k-1 backups so any k-1 overlapping
+		// failures leave a surviving copy (mirrors saveTimestamp).
+		for {
+			backups := t.cl.backupsOf(t.node.id, deg-1)
+			t.charge(CompCheckpoint, int64(len(backups))*cfg.NICPostOverheadNs)
+			t0 := t.beginWait()
+			for _, backup := range backups {
+				m := &ckptMsg{ThreadID: s.id, HomeNode: t.node.id, Snap: snap}
+				t.node.ep.Post(t.proc, backup, t.node.msgWire(backup, m), m)
+			}
+			err := t.node.ep.Fence(t.proc)
+			t.endWait(CompCheckpoint, t0)
+			if err == nil {
+				return
+			}
+			if errors.Is(err, vmmc.ErrNodeDead) {
+				t.joinRecoveryErr(err)
+				continue
+			}
+			panic(fmt.Sprintf("svm: checkpoint deposit: %v", err))
+		}
+	}
 	for {
 		backup := t.cl.backupOf(t.node.id)
 		m := &ckptMsg{ThreadID: s.id, HomeNode: t.node.id, Snap: snap}

@@ -113,8 +113,10 @@ func (t *Thread) handOver(l int, ol *ownedLock) {
 		prim := t.cl.lockHomes.Primary(l)
 		t.postLockMsg(prim, rel, n.msgWire(prim, rel))
 		if t.cl.opt.Mode == ModeFT {
-			sec := t.cl.lockHomes.Secondary(l)
-			t.postLockMsg(sec, rel, n.msgWire(sec, rel))
+			for s := 1; s < t.cl.lockHomes.Degree(); s++ {
+				sec := t.cl.lockHomes.Replica(l, s)
+				t.postLockMsg(sec, rel, n.msgWire(sec, rel))
+			}
 		}
 	default:
 		// Queue lock, uncontended: the lock stays cached on this node;
@@ -170,11 +172,13 @@ func (t *Thread) pollingAcquire(l int) proto.VectorTime {
 		set := &lockSet{Lock: l, Node: n.id}
 		t.postLockMsg(prim, set, set.wireBytes())
 		if ft {
-			// FT ordering invariant: the secondary's element is posted
+			// FT ordering invariant: every secondary's element is posted
 			// before the primary read below, and per-sender FIFO delivers
-			// it first — so by the time the read reply grants the lock,
-			// the secondary replica already records the new holder.
-			t.postLockMsg(t.cl.lockHomes.Secondary(l), set, set.wireBytes())
+			// them first — so by the time the read reply grants the lock,
+			// all secondary replicas already record the new holder.
+			for s := 1; s < t.cl.lockHomes.Degree(); s++ {
+				t.postLockMsg(t.cl.lockHomes.Replica(l, s), set, set.wireBytes())
+			}
 		}
 
 		rep, err := t.lockReadVector(l, prim)
@@ -190,7 +194,9 @@ func (t *Thread) pollingAcquire(l int) proto.VectorTime {
 		clr := &lockClear{Lock: l, Node: n.id}
 		t.postLockMsg(prim, clr, clr.wireBytes())
 		if ft {
-			t.postLockMsg(t.cl.lockHomes.Secondary(l), clr, clr.wireBytes())
+			for s := 1; s < t.cl.lockHomes.Degree(); s++ {
+				t.postLockMsg(t.cl.lockHomes.Replica(l, s), clr, clr.wireBytes())
+			}
 		}
 		backoff := cfg.LockBackoffMinNs
 		if span := cfg.LockBackoffMaxNs - cfg.LockBackoffMinNs; span > 0 {
@@ -306,9 +312,11 @@ func (n *node) nicTestAndSet(m *nicTestSet) *nicTestSetReply {
 	}
 	lh.vec[m.Node] = true
 	if n.cl.opt.Mode == ModeFT {
-		if sec := n.cl.lockHomes.Secondary(m.Lock); sec != n.id {
-			set := &lockSet{Lock: m.Lock, Node: m.Node}
-			n.sendOrDeliver(sec, set, set.wireBytes())
+		for s := 1; s < n.cl.lockHomes.Degree(); s++ {
+			if sec := n.cl.lockHomes.Replica(m.Lock, s); sec != n.id {
+				set := &lockSet{Lock: m.Lock, Node: m.Node}
+				n.sendOrDeliver(sec, set, set.wireBytes())
+			}
 		}
 	}
 	n.cl.trace(obs.KLockGrant, n.id, -1, int64(m.Lock))

@@ -58,8 +58,13 @@ func (cl *Cluster) PeekLiveBytes(addr, n int) []byte {
 		var buf []byte
 		if home := cl.pageHomes.Primary(pid); !cl.nodes[home].dead {
 			buf = cl.nodes[home].pt.pages[pid].committed
-		} else if sec := cl.pageHomes.Secondary(pid); !cl.nodes[sec].dead {
-			buf = cl.nodes[sec].pt.pages[pid].tentative
+		} else {
+			for s := 1; s < cl.pageHomes.Degree(); s++ {
+				if sec := cl.pageHomes.Replica(pid, s); !cl.nodes[sec].dead {
+					buf = cl.nodes[sec].pt.pages[pid].tentative
+					break
+				}
+			}
 		}
 		if buf != nil {
 			copy(out[i:i+chunk], buf[off:off+chunk])
@@ -88,11 +93,11 @@ func (cl *Cluster) DebugPage(p int) string {
 	out := fmt.Sprintf("page %d: P=n%d S=n%d\n", p, P, S)
 	for i, nd := range cl.nodes {
 		pg := nd.pt.pages[p]
-		out += fmt.Sprintf("  n%d dead=%v state=%v commit=%v%v tent=%v%v work=%v base=%v lastItv=%d\n",
+		out += fmt.Sprintf("  n%d dead=%v state=%v commit=%v%v tent=%v%v work=%v base=%v req=%v lastItv=%d\n",
 			i, nd.dead, pg.state,
 			pg.committed != nil, pg.commitVer,
 			pg.tentative != nil, pg.tentVer,
-			pg.working != nil, pg.baseVer, pg.lastLocalItv)
+			pg.working != nil, pg.baseVer, pg.reqVer, pg.lastLocalItv)
 	}
 	pgP, pgS := cl.nodes[P].pt.pages[p], cl.nodes[S].pt.pages[p]
 	div := -1

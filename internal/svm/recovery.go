@@ -3,6 +3,7 @@ package svm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ftsvm/internal/obs"
 	"ftsvm/internal/proto"
@@ -16,11 +17,12 @@ import (
 // one thread — the coordinator — executes the recovery actions.
 type recoveryState struct {
 	pending bool
-	dead    int
+	deads   []int // report-order queue of this episode's unrecovered failures
 	epoch   int
 	arrived int
 	gate    sim.Gate
-	claimed bool // a coordinator has been chosen for this episode
+	claimed bool    // a coordinator has been chosen for this episode
+	coord   *Thread // the chosen coordinator, nil before the claim
 }
 
 // KillNode fail-stops a node at the current virtual time: its network
@@ -55,8 +57,11 @@ func (cl *Cluster) KillNode(id int) {
 // reportFailure is called when any thread detects that a node died (a
 // communication error or a liveness probe after a heartbeat timeout). The
 // first report opens a recovery episode; subsequent reports of the same
-// node are no-ops. A second, different failure while recovery is pending
-// is a simultaneous failure, which the protocol does not tolerate (§4.1).
+// node are no-ops. With k replicas, up to k-1 overlapping failures are
+// tolerated inside one episode (each item keeps a surviving copy); the
+// k-th is a simultaneous failure the protocol does not tolerate — the
+// generalization of §4.1's rule, which at the paper's k=2 refuses the
+// second.
 func (cl *Cluster) reportFailure(id int) {
 	n := cl.nodes[id]
 	if n.excluded {
@@ -64,16 +69,27 @@ func (cl *Cluster) reportFailure(id int) {
 	}
 	rec := &cl.rec
 	if rec.pending {
-		if rec.dead != id {
-			panic(fmt.Sprintf("svm: simultaneous failures of nodes %d and %d are not tolerated", rec.dead, id))
+		for _, d := range rec.deads {
+			if d == id {
+				return
+			}
 		}
+		if len(rec.deads)+1 >= cl.Degree() || cl.LiveNodes() < cl.Degree() {
+			panic(fmt.Sprintf("svm: simultaneous failures of nodes %v and %d exceed replication degree %d", rec.deads, id, cl.Degree()))
+		}
+		if !n.dead {
+			return // false alarm
+		}
+		rec.deads = append(rec.deads, id)
+		cl.trace(obs.KRecoveryStart, id, -1, int64(rec.epoch))
+		cl.wakeForRecovery()
 		return
 	}
 	if !n.dead {
 		return // false alarm
 	}
 	rec.pending = true
-	rec.dead = id
+	rec.deads = append(rec.deads[:0], id)
 	rec.arrived = 0
 	rec.claimed = false
 	cl.trace(obs.KRecoveryStart, id, -1, int64(rec.epoch))
@@ -161,8 +177,21 @@ func (t *Thread) participateRecovery() {
 	epoch := rec.epoch
 	rec.arrived++
 	for rec.pending && rec.epoch == epoch {
+		if rec.claimed && rec.coord != nil && rec.coord.dead {
+			// The coordinator itself died mid-recovery (only reachable
+			// with k > 2: at degree 2 a second overlapping failure is
+			// refused). Queue its node into the episode and release the
+			// claim so another arriver re-drives the actions from the
+			// top — they are idempotent over whatever the dead
+			// coordinator completed.
+			coordNode := rec.coord.node.id
+			rec.coord = nil
+			rec.claimed = false
+			cl.reportFailure(coordNode)
+		}
 		if rec.arrived >= cl.liveThreadCount() && !rec.claimed {
 			rec.claimed = true
+			rec.coord = t
 			t.runRecovery()
 			return
 		}
@@ -192,6 +221,23 @@ func (cl *Cluster) noteThreadExit(n *node) {
 	for _, m := range cl.nodes {
 		m.barGate.Broadcast()
 	}
+	// A finished thread may have been the last arrival a pending episode
+	// was waiting on (a migrated thread's replayed post-loop barrier call
+	// can park at an episode beyond everyone else's final one, released
+	// only once the rest of the cluster drains). Ascending order: releasing
+	// an episode advances masterDone, which makes later pending ones
+	// eligible and stale-drops nothing below it.
+	master := cl.nodes[cl.masterNode()]
+	if len(master.masterArrivals) > 0 {
+		epochs := make([]int, 0, len(master.masterArrivals))
+		for e := range master.masterArrivals {
+			epochs = append(epochs, e)
+		}
+		sort.Ints(epochs)
+		for _, e := range epochs {
+			master.masterTryRelease(e)
+		}
+	}
 }
 
 // runRecovery executes the recovery actions on the coordinator thread:
@@ -213,26 +259,70 @@ func (cl *Cluster) noteThreadExit(n *node) {
 func (t *Thread) runRecovery() {
 	cl := t.cl
 	rec := &cl.rec
-	dead := rec.dead
 	cfg := cl.cfg
 
-	saved := t.fetchSavedState(dead)
-	t.reconcilePages(dead, saved)
-	t.rehomeAndReplicate(dead)
-	t.rebuildLocks(dead)
-	t.globalSync(dead, saved)
-	migrated := t.migrateThreads(dead, saved)
+	if cl.Degree() > 2 {
+		// Membership agreement round (§4.5 step 1): a failure that
+		// predates this episode but was never detected — the node went
+		// silent without any survivor communicating with it — must join
+		// the episode now. Rebuilding replicas while an unreported
+		// failure's unsaved tentative intervals still sit in surviving
+		// copies would launder them into committed state, where no later
+		// recovery can cancel them (the laundered entry is
+		// indistinguishable from a committed one). At degree 2 an
+		// overlapping second failure is refused outright, so the seed
+		// path needs no round.
+		t.probeCluster()
+	}
+	// Process every queued death. The fetch loop re-reads len(rec.deads)
+	// each pass: at k > 2 a further failure detected while the
+	// coordinator's own fetch traffic fences (a backup dying
+	// mid-recovery) is appended by reportFailure and fetched too. The
+	// reconcile runs ONCE over the whole death set, all roll-backs
+	// before all roll-forwards, and strictly before any rehoming:
+	// rebuilding a replica from a copy that still awaits another dead
+	// node's roll decision would freeze the pre-roll state into the
+	// fresh copy. A single-dead episode runs the seed's sequence
+	// verbatim.
+	var saveds []*savedState
+	for i := 0; i < len(rec.deads); i++ {
+		saveds = append(saveds, t.fetchSavedState(rec.deads[i]))
+	}
+	deads := append([]int(nil), rec.deads...)
+	tsOf := make([]int32, len(deads))
+	for i, dead := range deads {
+		tsOf[i] = saveds[i].ts[dead]
+	}
+	t.reconcilePages(deads, saveds)
+	for i, dead := range deads {
+		t.rehomeAndReplicate(dead, deads, tsOf)
+		t.rebuildLocks(dead)
+		t.globalSync(dead, saveds[i])
+		t.migrateThreads(dead, saveds[i])
+	}
 
 	cl.resetBarrierPlumbing()
 
-	cl.nodes[dead].excluded = true
-	t.node.stats.Recoveries++
-	t.charge(CompProtocol, int64(len(cl.nodes))*cfg.ProtoOpNs)
+	for _, dead := range deads {
+		cl.nodes[dead].excluded = true
+		t.node.stats.Recoveries++
+		t.charge(CompProtocol, int64(len(cl.nodes))*cfg.ProtoOpNs)
+	}
 
+	// Failures reported after the death set was snapshotted (a node dying
+	// while the actions above ran) were queued into rec.deads too late to
+	// be processed this episode. Carry them across the reset and re-report
+	// them so they open the next episode immediately — wiping them with
+	// the queue would lose the death until some later communication error
+	// happened to rediscover it (or never, if no one talks to the corpse).
+	leftover := append([]int(nil), rec.deads[len(deads):]...)
+	done := deads
 	rec.pending = false
 	rec.epoch++
 	rec.arrived = 0
 	rec.claimed = false
+	rec.coord = nil
+	rec.deads = rec.deads[:0]
 	rec.gate.Broadcast()
 	// Wake everything once more: fetch waits, barrier waits, and lock
 	// spins re-evaluate against the new configuration.
@@ -247,8 +337,12 @@ func (t *Thread) runRecovery() {
 			}
 		}
 	}
-	cl.trace(obs.KRecoveryDone, dead, t.id, int64(rec.epoch))
-	_ = migrated
+	for _, dead := range done {
+		cl.trace(obs.KRecoveryDone, dead, t.id, int64(rec.epoch))
+	}
+	for _, id := range leftover {
+		cl.reportFailure(id)
+	}
 }
 
 // resetBarrierPlumbing rebuilds the cluster's barrier state against the
@@ -315,34 +409,47 @@ type savedState struct {
 }
 
 // fetchSavedState retrieves the dead node's saved timestamp and lists from
-// its backup.
+// its backup. With k > 2 replicas the deposit was replicated to the dead
+// node's first k-1 live ring successors, so a backup dying mid-fetch is
+// tolerated: the new failure is reported (joining the open episode) and
+// the fetch walks on to the next surviving deposit holder. At k = 2 the
+// single deposit holder dying is unrecoverable, exactly the seed rule.
 func (t *Thread) fetchSavedState(dead int) *savedState {
 	cl := t.cl
-	backup := cl.backupOf(dead)
-	bn := cl.nodes[backup]
-	out := &savedState{ts: proto.NewVector(cl.cfg.Nodes)}
-	if backup == t.node.id {
-		if ts, ok := bn.savedTS[dead]; ok {
-			out.ts = ts.Clone()
-			out.lists = bn.savedLists[dead]
+	for {
+		backup := cl.backupOf(dead)
+		bn := cl.nodes[backup]
+		out := &savedState{ts: proto.NewVector(cl.cfg.Nodes)}
+		if backup == t.node.id {
+			if ts, ok := bn.savedTS[dead]; ok {
+				out.ts = ts.Clone()
+				out.lists = bn.savedLists[dead]
+			}
+			t.charge(CompProtocol, cl.cfg.ProtoOpNs)
+			return out
 		}
-		t.charge(CompProtocol, cl.cfg.ProtoOpNs)
+		req := &savedReq{Dead: dead}
+		t0 := t.beginWait()
+		v, err := t.node.ep.Request(t.proc, backup, req.wireBytes(), req)
+		t.endWait(CompProtocol, t0)
+		if err != nil {
+			if errors.Is(err, vmmc.ErrNodeDead) {
+				if cl.Degree() > 2 {
+					for _, id := range vmmc.DeadNodes(err) {
+						cl.net.ConfirmDead(id)
+						cl.reportFailure(id)
+					}
+					continue
+				}
+				panic("svm: backup node died during recovery (simultaneous failure)")
+			}
+			panic(fmt.Sprintf("svm: fetch saved state: %v", err))
+		}
+		rep := v.(*savedReply)
+		if rep.Have {
+			out.ts = rep.TS.Clone()
+			out.lists = rep.Lists
+		}
 		return out
 	}
-	req := &savedReq{Dead: dead}
-	t0 := t.beginWait()
-	v, err := t.node.ep.Request(t.proc, backup, req.wireBytes(), req)
-	t.endWait(CompProtocol, t0)
-	if err != nil {
-		if errors.Is(err, vmmc.ErrNodeDead) {
-			panic("svm: backup node died during recovery (simultaneous failure)")
-		}
-		panic(fmt.Sprintf("svm: fetch saved state: %v", err))
-	}
-	rep := v.(*savedReply)
-	if rep.Have {
-		out.ts = rep.TS.Clone()
-		out.lists = rep.Lists
-	}
-	return out
 }

@@ -29,73 +29,95 @@ func (t *Thread) rehome(dir proto.Directory, dead int) []proto.Reassignment {
 }
 
 // reconcilePages restores the replica invariant for every page with
-// respect to the dead node's interrupted release (§4.5.2). The saved
-// timestamp designates the set of the dead node's updates whose phase 1
+// respect to the dead nodes' interrupted releases (§4.5.2). Each saved
+// timestamp designates the set of its dead node's updates whose phase 1
 // completed: those roll forward (tentative -> committed); anything beyond
-// rolls back (committed -> tentative). Pages whose surviving copy is the
-// only copy are handled by rehomeAndReplicate.
-func (t *Thread) reconcilePages(dead int, saved *savedState) {
+// rolls back (committed -> tentative). With several deaths in one episode
+// every roll-back runs before any roll-forward: a roll-forward clones a
+// secondary's version vector into the committed copy wholesale, and must
+// never launder another dead node's cancelled interval into it. Pages
+// whose surviving copy is the only copy are handled by rehomeAndReplicate.
+func (t *Thread) reconcilePages(deads []int, saveds []*savedState) {
 	cl := t.cl
 	cfg := cl.cfg
-	tsD := saved.ts[dead]
-	bytesMoved := 0
-	for p := 0; p < cl.pageHomes.Items(); p++ {
-		P := cl.pageHomes.Primary(p)
-		S := cl.pageHomes.Secondary(p)
-		if P == dead || S == dead {
-			continue // single surviving copy; no pairwise reconcile
-		}
-		pgP := cl.nodes[P].pt.pages[p]
-		pgS := cl.nodes[S].pt.pages[p]
-		if pgP.committed == nil && pgS.tentative == nil {
-			continue
-		}
-		ensureHomeCopies(cl, pgP, pgS)
-		cv, dv := pgP.commitVer[dead], pgS.tentVer[dead]
-		if dv == cv {
-			// No interrupted release by the dead node touches this page.
-			// Mismatches in live nodes' entries are in-flight releases
-			// whose (live) owners will complete phase 2 themselves.
-			continue
-		}
-		if dv > cv && dv <= tsD {
-			// Roll forward: the dead node's phase 1 completed for this
-			// interval; promote the tentative copy. Live in-flight
-			// phase-1 partials promoted along with it are re-applied
-			// idempotently by their owners' phase 2.
-			copy(pgP.committed, pgS.tentative)
-			pgP.commitVer = pgS.tentVer.Clone()
-		} else if dv > cv {
-			// Roll back: undo exactly the dead node's tentative update
-			// using the pre-image that rode with the phase-1 diff.
-			if rec, ok := pgS.undoFrom[dead]; ok && rec.interval == dv {
-				rec.undo.Apply(pgS.tentative)
+	deg := cl.pageHomes.Degree()
+	bytesMoved := make([]int, len(deads))
+	forEachHomePair := func(visit func(pgP, pgS *page)) {
+		for p := 0; p < cl.pageHomes.Items(); p++ {
+			P := cl.pageHomes.Primary(p)
+			if cl.nodes[P].dead {
+				continue // no committed copy; the promotion rebuilds from a survivor
 			}
-			pgS.tentVer[dead] = cv
-		}
-		bytesMoved += cfg.PageSize
-	}
-	// Apply the dead node's stashed self-secondary diffs: updates whose
-	// only phase-1 replica died with the releaser but whose release is
-	// considered complete (<= saved timestamp) must reach the committed
-	// copies.
-	backup := cl.backupOf(dead)
-	for _, d := range cl.nodes[backup].savedStash[dead] {
-		P := cl.pageHomes.Primary(d.Page)
-		if P == dead {
-			continue // no committed copy survives; handled by replay
-		}
-		pg := cl.nodes[P].pt.pages[d.Page]
-		ensureCommitted(cl, pg)
-		if pg.commitVer[dead] < tsD {
-			d.Apply(pg.committed)
-			pg.commitVer[dead] = tsD
-			bytesMoved += d.DataBytes()
+			pgP := cl.nodes[P].pt.pages[p]
+			for s := 1; s < deg; s++ {
+				S := cl.pageHomes.Replica(p, s)
+				if cl.nodes[S].dead {
+					continue // this tentative copy died; rehomeAndReplicate rebuilds it
+				}
+				pgS := cl.nodes[S].pt.pages[p]
+				if pgP.committed == nil && pgS.tentative == nil {
+					continue
+				}
+				ensureHomeCopies(cl, pgP, pgS)
+				visit(pgP, pgS)
+			}
 		}
 	}
-	// The coordinator drives the copies; charge the pipelined transfer.
-	t.charge(CompProtocol, cfg.TransferNs(bytesMoved))
-	cl.trace(obs.KRecoveryReconcile, dead, t.id, int64(bytesMoved))
+	forEachHomePair(func(pgP, pgS *page) {
+		for di, dead := range deads {
+			cv, dv := pgP.commitVer[dead], pgS.tentVer[dead]
+			if dv > cv && dv > saveds[di].ts[dead] {
+				// Roll back: undo exactly the dead node's tentative update
+				// using the pre-image that rode with the phase-1 diff.
+				if rec, ok := pgS.undoFrom[dead]; ok && rec.interval == dv {
+					rec.undo.Apply(pgS.tentative)
+				}
+				pgS.tentVer[dead] = cv
+				bytesMoved[di] += cfg.PageSize
+			}
+		}
+	})
+	forEachHomePair(func(pgP, pgS *page) {
+		for di, dead := range deads {
+			cv, dv := pgP.commitVer[dead], pgS.tentVer[dead]
+			// dv == cv: no interrupted release by the dead node touches this
+			// page. Mismatches in live nodes' entries are in-flight releases
+			// whose (live) owners will complete phase 2 themselves.
+			if dv > cv && dv <= saveds[di].ts[dead] {
+				// Roll forward: the dead node's phase 1 completed for this
+				// interval; promote the tentative copy. Live in-flight
+				// phase-1 partials promoted along with it are re-applied
+				// idempotently by their owners' phase 2.
+				copy(pgP.committed, pgS.tentative)
+				pgP.commitVer = pgS.tentVer.Clone()
+				bytesMoved[di] += cfg.PageSize
+			}
+		}
+	})
+	for di, dead := range deads {
+		tsD := saveds[di].ts[dead]
+		// Apply the dead node's stashed self-secondary diffs: updates whose
+		// only phase-1 replica died with the releaser but whose release is
+		// considered complete (<= saved timestamp) must reach the committed
+		// copies.
+		backup := cl.backupOf(dead)
+		for _, d := range cl.nodes[backup].savedStash[dead] {
+			P := cl.pageHomes.Primary(d.Page)
+			if cl.nodes[P].dead {
+				continue // no committed copy survives; handled by replay
+			}
+			pg := cl.nodes[P].pt.pages[d.Page]
+			ensureCommitted(cl, pg)
+			if pg.commitVer[dead] < tsD {
+				d.Apply(pg.committed)
+				pg.commitVer[dead] = tsD
+				bytesMoved[di] += d.DataBytes()
+			}
+		}
+		// The coordinator drives the copies; charge the pipelined transfer.
+		t.charge(CompProtocol, cfg.TransferNs(bytesMoved[di]))
+		cl.trace(obs.KRecoveryReconcile, dead, t.id, int64(bytesMoved[di]))
+	}
 }
 
 func ensureHomeCopies(cl *Cluster, pgP, pgS *page) {
@@ -115,15 +137,15 @@ func ensureCommitted(cl *Cluster, pg *page) {
 
 // rehomeAndReplicate reassigns every home role the dead node held and
 // rebuilds the missing replicas from the surviving copies (§4.5.1). The
-// mapping guarantees the two replicas of each page stay on distinct live
-// nodes under any failure sequence.
-func (t *Thread) rehomeAndReplicate(dead int) {
+// mapping guarantees the k replicas of each page stay on distinct live
+// nodes under any failure sequence. deads and tsOf carry the episode's
+// full death set with each dead node's saved timestamp: a page whose
+// primary died was skipped by reconcilePages, so its surviving tentative
+// copies may still hold cancelled intervals from ANY of the episode's
+// dead nodes, and the promotion must roll every one of them back.
+func (t *Thread) rehomeAndReplicate(dead int, deads []int, tsOf []int32) {
 	cl := t.cl
 	cfg := cl.cfg
-	tsD := proto.VectorTime(nil)
-	if backup := cl.backupOf(dead); cl.nodes[backup].savedTS[dead] != nil {
-		tsD = cl.nodes[backup].savedTS[dead]
-	}
 	bytesMoved := 0
 	for _, r := range t.rehome(cl.pageHomes, dead) {
 		pg := cl.nodes[r.NewNode].pt.pages[r.Item]
@@ -132,7 +154,7 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 		case proto.Primary:
 			// Promotion in place: the old secondary becomes primary; its
 			// tentative copy is the authoritative state. An update beyond
-			// the dead node's saved timestamp belongs to a release whose
+			// a dead node's saved timestamp belongs to a release whose
 			// phase 1 did not complete: roll it back using the stored
 			// pre-image (the committed copy that would normally provide
 			// the roll-back data died with the releaser).
@@ -140,21 +162,78 @@ func (t *Thread) rehomeAndReplicate(dead int) {
 				sv.tentative = sv.pt.node.getPageBufZero()
 				sv.tentVer = proto.NewVector(cfg.Nodes)
 			}
-			tsDead := int32(0)
-			if tsD != nil {
-				tsDead = tsD[dead]
-			}
-			if sv.tentVer[dead] > tsDead {
-				if rec, ok := sv.undoFrom[dead]; ok && rec.interval == sv.tentVer[dead] {
-					rec.undo.Apply(sv.tentative)
+			for di, d := range deads {
+				if sv.tentVer[d] > tsOf[di] {
+					if rec, ok := sv.undoFrom[d]; ok && rec.interval == sv.tentVer[d] {
+						rec.undo.Apply(sv.tentative)
+					}
+					sv.tentVer[d] = tsOf[di]
 				}
-				sv.tentVer[dead] = tsDead
 			}
 			ensureCommitted(cl, pg)
 			copy(pg.committed, sv.tentative)
 			pg.commitVer = sv.tentVer.Clone()
 			bytesMoved += cfg.PageSize
+			if deg := cl.pageHomes.Degree(); deg > 2 {
+				// The promoted copy is only one of k-1 symmetric tentative
+				// holders: every other surviving secondary rolls the dead
+				// nodes' uncommitted updates back too, or a later promotion
+				// of that replica would resurrect a cancelled interval.
+				for s := 1; s < deg; s++ {
+					osPg := cl.nodes[cl.pageHomes.Replica(r.Item, s)].pt.pages[r.Item]
+					if osPg.tentative == nil || osPg.tentVer == nil {
+						continue
+					}
+					for di, d := range deads {
+						if osPg.tentVer[d] <= tsOf[di] {
+							continue
+						}
+						if rec, ok := osPg.undoFrom[d]; ok && rec.interval == osPg.tentVer[d] {
+							rec.undo.Apply(osPg.tentative)
+						}
+						osPg.tentVer[d] = tsOf[di]
+					}
+				}
+			}
 		case proto.Secondary:
+			if cl.nodes[r.Survivor].dead {
+				// The authoritative committed copy belongs to another of the
+				// episode's dead nodes whose own promotion has not run yet;
+				// its frozen committed state predates the roll decisions.
+				// Rebuild the tail from the first live tentative holder with
+				// the episode deads' unsaved intervals cancelled on the copy
+				// — exactly the state the pending promotion will commit.
+				if pg.tentative == nil {
+					pg.tentative = pg.pt.node.getPageBufZero()
+				}
+				var src *page
+				for s := 1; s < cl.pageHomes.Degree(); s++ {
+					n := cl.pageHomes.Replica(r.Item, s)
+					if n == r.NewNode || cl.nodes[n].dead {
+						continue
+					}
+					if cand := cl.nodes[n].pt.pages[r.Item]; cand.tentative != nil {
+						src = cand
+						break
+					}
+				}
+				if src == nil {
+					pg.tentVer = proto.NewVector(cfg.Nodes)
+				} else {
+					copy(pg.tentative, src.tentative)
+					pg.tentVer = src.tentVer.Clone()
+					for di, d := range deads {
+						if pg.tentVer[d] > tsOf[di] {
+							if rec, ok := src.undoFrom[d]; ok && rec.interval == pg.tentVer[d] {
+								rec.undo.Apply(pg.tentative)
+							}
+							pg.tentVer[d] = tsOf[di]
+						}
+					}
+				}
+				bytesMoved += cfg.PageSize
+				continue
+			}
 			ensureCommitted(cl, sv)
 			if pg.tentative == nil {
 				pg.tentative = pg.pt.node.getPageBufZero()
@@ -193,8 +272,11 @@ func (t *Thread) rebuildLocks(dead int) {
 	oldVec := make([][]bool, nlocks)
 	for l := 0; l < nlocks; l++ {
 		vt := proto.NewVector(cfg.Nodes)
-		for _, home := range []int{cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)} {
-			if home == dead {
+		for _, home := range cl.lockHomes.Replicas(l) {
+			if cl.nodes[home].dead {
+				// Skips the node being processed and any other episode dead
+				// still holding a home slot: a frozen replica must not be
+				// treated as authoritative.
 				continue
 			}
 			if lh := cl.nodes[home].lockHomesState[l]; lh != nil {
@@ -221,7 +303,7 @@ func (t *Thread) rebuildLocks(dead int) {
 				holders = append(holders, i)
 			}
 		}
-		for _, home := range []int{cl.lockHomes.Primary(l), cl.lockHomes.Secondary(l)} {
+		for _, home := range cl.lockHomes.Replicas(l) {
 			n := cl.nodes[home]
 			n.installLock(&lockRebuild{Lock: l, Holders: holders, VT: oldVT[l]})
 		}
@@ -347,16 +429,36 @@ func (t *Thread) migrateThreads(dead int, saved *savedState) int {
 			continue
 		}
 		nt := &Thread{id: old.id, cl: cl, node: bn, migrated: true}
-		if snap, ok := bn.ckpts.LatestValid(old.id, usable); ok && bn.ckptHome[old.id] == dead {
+		// The snapshot counts only if its depositor can no longer be
+		// running the thread. At k = 2 that is exactly ckptHome == dead
+		// (the seed rule); at k > 2 a thread migrated earlier in the same
+		// episode may die again before re-checkpointing, leaving its
+		// latest deposit tagged with the previous (also dead) home.
+		home, hasHome := bn.ckptHome[old.id]
+		okHome := hasHome && (home == dead || (cl.Degree() > 2 && cl.nodes[home].dead))
+		snap, restored := bn.ckpts.LatestValid(old.id, usable)
+		if restored && okHome {
 			nt.restoredBlob = snap.Blob
 			nt.ckptSeq = snap.Seq
 			nt.barSeq = snap.BarSeq
-			cl.trace(obs.KRecoveryRestore, backup, old.id, snap.Seq)
 			t.charge(CompProtocol, cl.cfg.CheckpointNs(len(snap.Blob)))
 		}
+		// Register and spawn BEFORE announcing the restore: the trace is a
+		// failure-injection boundary, and a kill of the backup node there
+		// must see the migrated thread in bn.threads to stop it. The
+		// explicit dead-check below covers the other ordering — bn killed
+		// at an earlier boundary of this same loop — where the thread is
+		// spawned onto an already-dead node.
 		cl.threads[old.id] = nt
 		bn.threads = append(bn.threads, nt)
 		cl.spawnThread(nt)
+		if restored && okHome {
+			cl.trace(obs.KRecoveryRestore, backup, old.id, snap.Seq)
+		}
+		if bn.dead && !nt.dead {
+			nt.dead = true
+			nt.proc.Kill()
+		}
 		t.node.stats.MigratedThreads++
 		count++
 	}

@@ -474,14 +474,19 @@ func (t *Thread) splitDeferred(pg *page, d *mem.Diff) bool {
 func (t *Thread) propagateSinglePhase(caps []capturedDiff, itv int32) {
 	n := t.node
 	cfg := t.cl.cfg
+	deg := t.cl.pageHomes.Degree()
 	for {
 		for _, c := range caps {
-			targets := [2]struct{ phase, dst int }{
-				{1, t.cl.pageHomes.Secondary(c.pid)},
-				{2, t.cl.pageHomes.Primary(c.pid)},
-			}
-			for _, tg := range targets {
-				phase, dst := tg.phase, tg.dst
+			// Phase-1 targets are every secondary slot (tentative copies),
+			// phase 2 the primary (committed copy) — at degree 2 exactly
+			// the secondary/primary pair.
+			for s := 1; s <= deg; s++ {
+				phase, dst := 1, 0
+				if s == deg {
+					phase, dst = 2, t.cl.pageHomes.Primary(c.pid)
+				} else {
+					dst = t.cl.pageHomes.Replica(c.pid, s)
+				}
 				if dst == n.id {
 					t.applyLocalDiff(c, itv, phase)
 					continue
@@ -520,38 +525,42 @@ func (t *Thread) propagateSinglePhase(caps []capturedDiff, itv int32) {
 func (t *Thread) propagatePhase(caps []capturedDiff, itv int32, phase int) {
 	n := t.node
 	cfg := t.cl.cfg
+	// Phase 1 fans out to every secondary slot (1..k-1); phase 2 goes to
+	// the primary alone. At degree 2 the slot loop visits exactly the
+	// seed's single secondary, keeping the event stream bit-identical.
+	lo, hi := 0, 1
+	if phase == 1 {
+		lo, hi = 1, t.cl.pageHomes.Degree()
+	}
 	for {
 		batches := map[int]*diffBatch{}
 		for _, c := range caps {
-			var dst int
-			if phase == 1 {
-				dst = t.cl.pageHomes.Secondary(c.pid)
-			} else {
-				dst = t.cl.pageHomes.Primary(c.pid)
-			}
-			if dst == n.id {
-				t.applyLocalDiff(c, itv, phase)
-				continue
-			}
-			m := &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: phase, Diff: c.diff}
-			if phase == 1 {
-				m.Undo = c.undo
-			}
-			if t.cl.opt.AggregateDiffs {
-				b := batches[dst]
-				if b == nil {
-					b = &diffBatch{}
-					batches[dst] = b
+			for s := lo; s < hi; s++ {
+				dst := t.cl.pageHomes.Replica(c.pid, s)
+				if dst == n.id {
+					t.applyLocalDiff(c, itv, phase)
+					continue
 				}
-				b.Items = append(b.Items, m)
-				continue
+				m := &diffMsg{Page: c.pid, Src: n.id, Interval: itv, Phase: phase, Diff: c.diff}
+				if phase == 1 {
+					m.Undo = c.undo
+				}
+				if t.cl.opt.AggregateDiffs {
+					b := batches[dst]
+					if b == nil {
+						b = &diffBatch{}
+						batches[dst] = b
+					}
+					b.Items = append(b.Items, m)
+					continue
+				}
+				t.node.stats.DiffMsgs++
+				t.node.stats.DiffBytes += int64(m.wireBytes())
+				t.charge(CompDiff, cfg.NICPostOverheadNs)
+				t0 := t.beginWait()
+				n.ep.Post(t.proc, dst, m.wireBytes(), m)
+				t.endWait(CompDiff, t0)
 			}
-			t.node.stats.DiffMsgs++
-			t.node.stats.DiffBytes += int64(m.wireBytes())
-			t.charge(CompDiff, cfg.NICPostOverheadNs)
-			t0 := t.beginWait()
-			n.ep.Post(t.proc, dst, m.wireBytes(), m)
-			t.endWait(CompDiff, t0)
 		}
 		if t.cl.opt.AggregateDiffs {
 			t.postBatches(batches)
@@ -603,34 +612,68 @@ func (t *Thread) applyLocalDiff(c capturedDiff, itv int32, phase int) {
 // copies whose only tentative replica died with this node.
 func (t *Thread) saveTimestamp(itv int32, caps []capturedDiff) {
 	n := t.node
+	deg := t.cl.Degree()
 	var stash []*mem.Diff
 	for _, c := range caps {
-		if t.cl.pageHomes.Secondary(c.pid) == n.id {
-			stash = append(stash, c.diff)
+		for s := 1; s < deg; s++ {
+			if t.cl.pageHomes.Replica(c.pid, s) == n.id {
+				stash = append(stash, c.diff)
+				break
+			}
 		}
 	}
 	snap, sz := t.encodeSnapshot()
 	t.node.ckptCount++
 	t.charge(CompCheckpoint, t.cl.cfg.CheckpointNs(sz))
-	for {
-		backup := t.cl.backupOf(n.id)
-		m := &saveTSMsg{
-			Node: n.id, TS: n.vt.Clone(), List: n.intervals[itv-1], Stash: stash,
-			CkptThread: t.id, CkptHome: n.id, Snap: snap,
+	if deg == 2 {
+		// Single-backup fast path: the seed's exact sequence.
+		for {
+			backup := t.cl.backupOf(n.id)
+			m := &saveTSMsg{
+				Node: n.id, TS: n.vt.Clone(), List: n.intervals[itv-1], Stash: stash,
+				CkptThread: t.id, CkptHome: n.id, Snap: snap,
+			}
+			t.charge(CompCheckpoint, t.cl.cfg.NICPostOverheadNs)
+			t0 := t.beginWait()
+			n.ep.Post(t.proc, backup, n.msgWire(backup, m), m)
+			err := n.ep.Fence(t.proc)
+			// The deposit's bulk is the point-B thread state; the paper counts
+			// remote state saving under checkpointing.
+			t.endWait(CompCheckpoint, t0)
+			if err == nil {
+				return
+			}
+			if errors.Is(err, vmmc.ErrNodeDead) {
+				t.joinRecoveryErr(err)
+				continue // backup reassigned; save again
+			}
+			panic(fmt.Sprintf("svm: timestamp save: %v", err))
 		}
-		t.charge(CompCheckpoint, t.cl.cfg.NICPostOverheadNs)
+	}
+	// Degree k: the deposit is replicated at the first k-1 live ring
+	// successors, so any k-1 overlapping failures leave at least one
+	// surviving copy of the arbitration state. One fence covers the
+	// whole replicated deposit — it is atomic with respect to failures
+	// the same way the single deposit is: recovery reads any survivor.
+	for {
+		backups := t.cl.backupsOf(n.id, deg-1)
+		t.charge(CompCheckpoint, int64(len(backups))*t.cl.cfg.NICPostOverheadNs)
 		t0 := t.beginWait()
-		n.ep.Post(t.proc, backup, n.msgWire(backup, m), m)
+		for _, backup := range backups {
+			m := &saveTSMsg{
+				Node: n.id, TS: n.vt.Clone(), List: n.intervals[itv-1], Stash: stash,
+				CkptThread: t.id, CkptHome: n.id, Snap: snap,
+			}
+			n.ep.Post(t.proc, backup, n.msgWire(backup, m), m)
+		}
 		err := n.ep.Fence(t.proc)
-		// The deposit's bulk is the point-B thread state; the paper counts
-		// remote state saving under checkpointing.
 		t.endWait(CompCheckpoint, t0)
 		if err == nil {
 			return
 		}
 		if errors.Is(err, vmmc.ErrNodeDead) {
 			t.joinRecoveryErr(err)
-			continue // backup reassigned; save again
+			continue // backup set reassigned; save again
 		}
 		panic(fmt.Sprintf("svm: timestamp save: %v", err))
 	}

@@ -371,14 +371,15 @@ func New(opt Options) (*Cluster, error) {
 		nlocks = 1
 	}
 	lockAssign := func(l int) int { return l % cfg.Nodes }
+	degree := cfg.Degree()
 	if cfg.Directory == model.DirHashed {
 		cl.dirHashed = true
 		// Distinct seeds so the page and lock rings scatter independently.
-		cl.pageHomes = proto.NewHashedDir(opt.Pages, cfg.Nodes, cfg.Seed, assign)
-		cl.lockHomes = proto.NewHashedDir(nlocks, cfg.Nodes, cfg.Seed+1, lockAssign)
+		cl.pageHomes = proto.NewHashedDirK(opt.Pages, cfg.Nodes, degree, cfg.Seed, assign)
+		cl.lockHomes = proto.NewHashedDirK(nlocks, cfg.Nodes, degree, cfg.Seed+1, lockAssign)
 	} else {
-		cl.pageHomes = proto.NewHomeMap(opt.Pages, cfg.Nodes, assign)
-		cl.lockHomes = proto.NewHomeMap(nlocks, cfg.Nodes, lockAssign)
+		cl.pageHomes = proto.NewHomeMapK(opt.Pages, cfg.Nodes, degree, assign)
+		cl.lockHomes = proto.NewHomeMapK(nlocks, cfg.Nodes, degree, lockAssign)
 	}
 
 	cl.nodes = make([]*node, cfg.Nodes)
@@ -403,21 +404,25 @@ func New(opt Options) (*Cluster, error) {
 		n.ep.SetHandler(n.handle)
 		cl.nodes[i] = n
 	}
-	// Install home-side page storage.
+	// Install home-side page storage at all k replica homes (slot 0 is
+	// the primary/committed copy, every other slot a tentative copy).
 	for p := 0; p < opt.Pages; p++ {
-		prim, sec := cl.pageHomes.Primary(p), cl.pageHomes.Secondary(p)
 		if opt.Mode == ModeFT {
-			cl.nodes[prim].pt.initHome(p, proto.Primary, true, cfg.PageSize, cfg.Nodes)
-			cl.nodes[sec].pt.initHome(p, proto.Secondary, true, cfg.PageSize, cfg.Nodes)
+			cl.nodes[cl.pageHomes.Primary(p)].pt.initHome(p, proto.Primary, true, cfg.PageSize, cfg.Nodes)
+			for s := 1; s < degree; s++ {
+				cl.nodes[cl.pageHomes.Replica(p, s)].pt.initHome(p, proto.Secondary, true, cfg.PageSize, cfg.Nodes)
+			}
 		} else {
-			cl.nodes[prim].pt.initHome(p, proto.Primary, false, cfg.PageSize, cfg.Nodes)
+			cl.nodes[cl.pageHomes.Primary(p)].pt.initHome(p, proto.Primary, false, cfg.PageSize, cfg.Nodes)
 		}
 	}
-	// Install home-side lock state.
+	// Install home-side lock state at all k replica homes.
 	for l := 0; l < nlocks; l++ {
 		cl.nodes[cl.lockHomes.Primary(l)].initLockHome(l)
 		if opt.Mode == ModeFT {
-			cl.nodes[cl.lockHomes.Secondary(l)].initLockHome(l)
+			for s := 1; s < degree; s++ {
+				cl.nodes[cl.lockHomes.Replica(l, s)].initLockHome(l)
+			}
 		}
 	}
 	return cl, nil
@@ -598,6 +603,34 @@ func (cl *Cluster) RecoveryPending() bool { return cl.rec.pending }
 // NodeDead reports whether node id has fail-stopped.
 func (cl *Cluster) NodeDead(id int) bool { return cl.nodes[id].dead }
 
+// Degree returns the home-replication degree k the cluster runs at.
+func (cl *Cluster) Degree() int { return cl.cfg.Degree() }
+
+// LiveNodes returns the number of nodes that have not fail-stopped.
+func (cl *Cluster) LiveNodes() int {
+	live := 0
+	for _, n := range cl.nodes {
+		if !n.dead {
+			live++
+		}
+	}
+	return live
+}
+
+// UnrecoveredFailures returns the number of failed nodes whose recovery
+// episode has not yet completed (dead but not excluded). The protocol
+// tolerates up to Degree()-1 of these overlapping; the k-th overlapping
+// failure is the one the explorer's refusal rule rejects.
+func (cl *Cluster) UnrecoveredFailures() int {
+	c := 0
+	for _, n := range cl.nodes {
+		if n.dead && !n.excluded {
+			c++
+		}
+	}
+	return c
+}
+
 // Nodes returns the cluster size (including failed nodes).
 func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
 
@@ -696,6 +729,24 @@ func (cl *Cluster) backupOf(id int) int {
 		}
 	}
 	panic("svm: no live backup node")
+}
+
+// backupsOf returns the first m distinct live, non-excluded ring
+// successors of node id — the deposit targets for k-replicated saved
+// state (m = Degree()-1). The degree-2 hot path uses backupOf and never
+// allocates.
+func (cl *Cluster) backupsOf(id, m int) []int {
+	out := make([]int, 0, m)
+	for i := 1; i < len(cl.nodes) && len(out) < m; i++ {
+		c := (id + i) % len(cl.nodes)
+		if !cl.nodes[c].dead && !cl.nodes[c].excluded {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		panic("svm: no live backup node")
+	}
+	return out
 }
 
 // Threads returns all compute threads (including migrated ones).

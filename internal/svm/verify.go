@@ -3,42 +3,57 @@ package svm
 import "fmt"
 
 // VerifyReplicas audits the extended protocol's replication invariant
-// after a run: every page's two homes are distinct live nodes, and the
-// primary's committed copy matches the secondary's tentative copy byte
+// after a run: every page's k homes are distinct live nodes, and the
+// primary's committed copy matches every secondary's tentative copy byte
 // for byte (with equal version vectors). At quiescence — all threads
-// finished, no release in flight — the two replicas must have converged;
+// finished, no release in flight — the replicas must have converged;
 // any divergence means an interval was applied to one copy and lost on
-// the other, exactly the corruption the two-phase pipeline exists to
+// another, exactly the corruption the two-phase pipeline exists to
 // prevent. Returns nil for ModeBase clusters (no replicas to audit).
 func (cl *Cluster) VerifyReplicas() error {
 	if cl.opt.Mode != ModeFT {
 		return nil
 	}
+	deg := cl.pageHomes.Degree()
 	for p := 0; p < cl.pageHomes.Items(); p++ {
-		P := cl.pageHomes.Primary(p)
-		S := cl.pageHomes.Secondary(p)
-		if P == S {
-			return fmt.Errorf("page %d: replicas colocated on node %d", p, P)
-		}
-		if cl.nodes[P].dead || cl.nodes[S].dead {
-			return fmt.Errorf("page %d: home on dead node (P=%d S=%d)", p, P, S)
-		}
-		pgP := cl.nodes[P].pt.pages[p]
-		pgS := cl.nodes[S].pt.pages[p]
-		if pgP.committed == nil && pgS.tentative == nil {
-			continue // never touched
-		}
-		if pgP.committed == nil || pgS.tentative == nil {
-			return fmt.Errorf("page %d: one replica missing", p)
-		}
-		for i := range pgP.committed {
-			if pgP.committed[i] != pgS.tentative[i] {
-				return fmt.Errorf("page %d: replicas diverge at byte %d (committed %d vs tentative %d)",
-					p, i, pgP.committed[i], pgS.tentative[i])
+		rs := cl.pageHomes.Replicas(p)
+		for a := 0; a < deg; a++ {
+			for b := a + 1; b < deg; b++ {
+				if rs[a] == rs[b] {
+					return fmt.Errorf("page %d: replicas colocated on node %d", p, rs[a])
+				}
+			}
+			if cl.nodes[rs[a]].dead {
+				return fmt.Errorf("page %d: home on dead node (slot %d = node %d)", p, a, rs[a])
 			}
 		}
-		if !pgP.commitVer.Equal(pgS.tentVer) {
-			return fmt.Errorf("page %d: replica versions diverge: %v vs %v", p, pgP.commitVer, pgS.tentVer)
+		pgP := cl.nodes[rs[0]].pt.pages[p]
+		touched := pgP.committed != nil
+		for s := 1; s < deg; s++ {
+			if cl.nodes[rs[s]].pt.pages[p].tentative != nil {
+				touched = true
+			}
+		}
+		if !touched {
+			continue // never touched
+		}
+		if pgP.committed == nil {
+			return fmt.Errorf("page %d: one replica missing", p)
+		}
+		for s := 1; s < deg; s++ {
+			pgS := cl.nodes[rs[s]].pt.pages[p]
+			if pgS.tentative == nil {
+				return fmt.Errorf("page %d: one replica missing", p)
+			}
+			for i := range pgP.committed {
+				if pgP.committed[i] != pgS.tentative[i] {
+					return fmt.Errorf("page %d: replicas diverge at byte %d (committed %d vs tentative %d)",
+						p, i, pgP.committed[i], pgS.tentative[i])
+				}
+			}
+			if !pgP.commitVer.Equal(pgS.tentVer) {
+				return fmt.Errorf("page %d: replica versions diverge: %v vs %v", p, pgP.commitVer, pgS.tentVer)
+			}
 		}
 	}
 	return nil
@@ -49,45 +64,68 @@ func (cl *Cluster) VerifyReplicas() error {
 // has observed the death (no recovery episode ran): every page still
 // has at least one live home holding its committed state, so a future
 // access — which would trigger detection and recovery — can rebuild
-// full replication without data loss. Pages with both homes live are
-// held to the full VerifyReplicas contract; a page whose only intact
-// copy sits on the dead node is exactly the durability loss the dual
-// homes exist to prevent. Returns nil for ModeBase clusters.
+// full replication without data loss. Pages with all homes live are
+// held to the byte-compare contract; a page whose only intact copy
+// sits on a dead node is exactly the durability loss the k homes exist
+// to prevent. Returns nil for ModeBase clusters.
 func (cl *Cluster) VerifyAvailability() error {
 	if cl.opt.Mode != ModeFT {
 		return nil
 	}
+	deg := cl.pageHomes.Degree()
 	for p := 0; p < cl.pageHomes.Items(); p++ {
-		P := cl.pageHomes.Primary(p)
-		S := cl.pageHomes.Secondary(p)
-		if P == S {
-			return fmt.Errorf("page %d: replicas colocated on node %d", p, P)
+		rs := cl.pageHomes.Replicas(p)
+		for a := 0; a < deg; a++ {
+			for b := a + 1; b < deg; b++ {
+				if rs[a] == rs[b] {
+					return fmt.Errorf("page %d: replicas colocated on node %d", p, rs[a])
+				}
+			}
 		}
-		if cl.nodes[P].dead && cl.nodes[S].dead {
-			return fmt.Errorf("page %d: both homes dead (P=%d S=%d)", p, P, S)
+		copyAt := func(s int) []byte {
+			pg := cl.nodes[rs[s]].pt.pages[p]
+			if s == 0 {
+				return pg.committed
+			}
+			return pg.tentative
 		}
-		pgP := cl.nodes[P].pt.pages[p]
-		pgS := cl.nodes[S].pt.pages[p]
-		switch {
-		case cl.nodes[P].dead:
-			if pgP.committed != nil && pgS.tentative == nil {
-				return fmt.Errorf("page %d: only copy was on dead primary %d", p, P)
+		anyDead, allDead, anyCopy, liveCopy := false, true, false, false
+		for s := 0; s < deg; s++ {
+			dead := cl.nodes[rs[s]].dead
+			anyDead = anyDead || dead
+			allDead = allDead && dead
+			if copyAt(s) != nil {
+				anyCopy = true
+				if !dead {
+					liveCopy = true
+				}
 			}
-		case cl.nodes[S].dead:
-			if pgS.tentative != nil && pgP.committed == nil {
-				return fmt.Errorf("page %d: only copy was on dead secondary %d", p, S)
+		}
+		if allDead {
+			return fmt.Errorf("page %d: all homes dead (%v)", p, rs)
+		}
+		if !anyCopy {
+			continue
+		}
+		if anyDead {
+			if !liveCopy {
+				return fmt.Errorf("page %d: only copy was on a dead home (%v)", p, rs)
 			}
-		default:
-			if pgP.committed == nil && pgS.tentative == nil {
-				continue
-			}
-			if pgP.committed == nil || pgS.tentative == nil {
+			continue // one live copy suffices until recovery rebuilds the rest
+		}
+		prim := copyAt(0)
+		if prim == nil {
+			return fmt.Errorf("page %d: one replica missing", p)
+		}
+		for s := 1; s < deg; s++ {
+			tent := copyAt(s)
+			if tent == nil {
 				return fmt.Errorf("page %d: one replica missing", p)
 			}
-			for i := range pgP.committed {
-				if pgP.committed[i] != pgS.tentative[i] {
+			for i := range prim {
+				if prim[i] != tent[i] {
 					return fmt.Errorf("page %d: replicas diverge at byte %d (committed %d vs tentative %d)",
-						p, i, pgP.committed[i], pgS.tentative[i])
+						p, i, prim[i], tent[i])
 				}
 			}
 		}
